@@ -1,0 +1,33 @@
+//! A3 — ablation: the paper's `E_l` line-based polygon area (Definition 4
+//! / Section 3.2) against the classic shoelace (reference-point) formula,
+//! on identical polygons. Both are linear; the experiment shows the
+//! line-based form costs no more, which is why `Compute-CDR%` can afford
+//! it per tile.
+
+use cardir_bench::SEED;
+use cardir_geometry::area::polygon_area_via_line;
+use cardir_geometry::{Line, Point};
+use cardir_workloads::star_polygon;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_area(c: &mut Criterion) {
+    let mut group = c.benchmark_group("area_methods");
+    for n in [64usize, 1024, 16384] {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let poly = star_polygon(&mut rng, Point::ORIGIN, 5.0, 10.0, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("shoelace", n), &n, |bench, _| {
+            bench.iter(|| black_box(&poly).area());
+        });
+        group.bench_with_input(BenchmarkId::new("e_l_line", n), &n, |bench, _| {
+            bench.iter(|| polygon_area_via_line(Line::Horizontal(-20.0), black_box(&poly)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_area);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! A5 — costs of the future-work extensions: topological relation and
+//! minimum-distance computation vs the cardinal direction computation on
+//! the same region pairs.
+
+use cardir_bench::{scaling_pair, SEED};
+use cardir_core::compute_cdr;
+use cardir_extensions::topology::topological_relation;
+use cardir_extensions::min_distance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    for edges in [64usize, 256, 1024] {
+        let (a, b) = scaling_pair(edges, SEED);
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(BenchmarkId::new("direction", edges), &edges, |bench, _| {
+            bench.iter(|| compute_cdr(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("topology", edges), &edges, |bench, _| {
+            bench.iter(|| topological_relation(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("min_distance", edges), &edges, |bench, _| {
+            bench.iter(|| min_distance(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

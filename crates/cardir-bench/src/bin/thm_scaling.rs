@@ -1,0 +1,81 @@
+//! E4/E5 — Theorems 1 and 2: both algorithms are linear in the total
+//! edge count. Prints ns/edge across a doubling sweep; linearity shows
+//! as a flat column. The clipping baseline is included for reference.
+//!
+//! Run with: `cargo run --release -p cardir-bench --bin thm_scaling`
+
+use cardir_bench::{calibrate_iters, scaling_pair, time_mean, SEED};
+use cardir_core::{clipping_cdr, compute_cdr, compute_cdr_pct};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn main() {
+    println!("E4/E5 — linear-time scaling (Theorems 1 and 2)\n");
+    println!(
+        "| {:>8} | {:>14} | {:>10} | {:>14} | {:>10} | {:>14} | {:>10} |",
+        "edges", "CDR", "ns/edge", "CDR%", "ns/edge", "clipping", "ns/edge"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(10),
+        "-".repeat(16),
+        "-".repeat(12),
+        "-".repeat(16),
+        "-".repeat(12),
+        "-".repeat(16),
+        "-".repeat(12)
+    );
+
+    let mut per_edge_first = None;
+    let mut per_edge_last = None;
+    for edges in cardir_workloads::sweep::doubling(64, 65536) {
+        let (a, b) = scaling_pair(edges, SEED);
+        let target = Duration::from_millis(20);
+
+        let iters = calibrate_iters(target, || {
+            black_box(compute_cdr(black_box(&a), black_box(&b)));
+        });
+        let t_cdr = time_mean(iters, || {
+            black_box(compute_cdr(black_box(&a), black_box(&b)));
+        });
+
+        let iters = calibrate_iters(target, || {
+            black_box(compute_cdr_pct(black_box(&a), black_box(&b)));
+        });
+        let t_pct = time_mean(iters, || {
+            black_box(compute_cdr_pct(black_box(&a), black_box(&b)));
+        });
+
+        let iters = calibrate_iters(target, || {
+            black_box(clipping_cdr(black_box(&a), black_box(&b)));
+        });
+        let t_clip = time_mean(iters, || {
+            black_box(clipping_cdr(black_box(&a), black_box(&b)));
+        });
+
+        let per_edge = |d: Duration| d.as_nanos() as f64 / edges as f64;
+        println!(
+            "| {:>8} | {:>14.2?} | {:>10.2} | {:>14.2?} | {:>10.2} | {:>14.2?} | {:>10.2} |",
+            edges,
+            t_cdr,
+            per_edge(t_cdr),
+            t_pct,
+            per_edge(t_pct),
+            t_clip,
+            per_edge(t_clip),
+        );
+        if per_edge_first.is_none() {
+            per_edge_first = Some(per_edge(t_cdr));
+        }
+        per_edge_last = Some(per_edge(t_cdr));
+    }
+
+    let (first, last) = (per_edge_first.unwrap(), per_edge_last.unwrap());
+    println!(
+        "\nCompute-CDR ns/edge drift across the sweep: {:.2} → {:.2} (ratio {:.2}; \
+         ≈1 confirms linear time)",
+        first,
+        last,
+        last / first
+    );
+}

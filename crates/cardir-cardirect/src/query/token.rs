@@ -1,0 +1,172 @@
+//! Query lexer.
+
+use std::fmt;
+
+/// A lexical token of the query language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier: variable, tile name, attribute, colour, region name.
+    Ident(String),
+    /// Double-quoted string literal (for names with spaces).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `|`
+    Pipe,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Pipe => write!(f, "|"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::Colon => write!(f, ":"),
+        }
+    }
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub character: char,
+    /// Byte offset.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at byte {}", self.character, self.position)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(pos, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' => {
+                chars.next();
+                out.push(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                out.push(Token::RBrace);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '|' => {
+                chars.next();
+                out.push(Token::Pipe);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            ':' => {
+                chars.next();
+                out.push(Token::Colon);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, ch)) => s.push(ch),
+                        None => return Err(LexError { character: '"', position: pos }),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_alphanumeric() || matches!(ch, '_' | '-' | '.') {
+                        s.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(LexError { character: other, position: pos }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_paper_query() {
+        let q = "{ (a, b) | color(a) = red, a S:SW b }";
+        let tokens = tokenize(q).unwrap();
+        assert_eq!(tokens[0], Token::LBrace);
+        assert!(tokens.contains(&Token::Pipe));
+        assert!(tokens.contains(&Token::Ident("color".into())));
+        assert!(tokens.contains(&Token::Colon));
+        assert_eq!(tokens.last(), Some(&Token::RBrace));
+    }
+
+    #[test]
+    fn string_literals() {
+        let tokens = tokenize(r#"x = "South Italy""#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::Ident("x".into()), Token::Eq, Token::Str("South Italy".into())]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        let err = tokenize("a # b").unwrap_err();
+        assert_eq!(err.character, '#');
+        assert_eq!(err.position, 2);
+        assert!(tokenize(r#"x = "unterminated"#).is_err());
+    }
+
+    #[test]
+    fn identifiers_allow_dots_dashes_digits() {
+        let tokens = tokenize("r0.sub-part_x").unwrap();
+        assert_eq!(tokens, vec![Token::Ident("r0.sub-part_x".into())]);
+    }
+}

@@ -1,0 +1,114 @@
+//! The five predefined XML entities.
+
+use std::borrow::Cow;
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape(s, false)
+}
+
+/// Escapes an attribute value (`&`, `<`, `>`, `"`, `'`).
+pub fn escape_attribute(s: &str) -> Cow<'_, str> {
+    escape(s, true)
+}
+
+fn escape(s: &str, attribute: bool) -> Cow<'_, str> {
+    let needs = |c: char| matches!(c, '&' | '<' | '>') || (attribute && matches!(c, '"' | '\''));
+    if !s.chars().any(needs) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attribute => out.push_str("&quot;"),
+            '\'' if attribute => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolves the five predefined entities plus decimal/hex character
+/// references. Unknown entities are left verbatim (lenient mode).
+pub fn unescape(s: &str) -> Cow<'_, str> {
+    if !s.contains('&') {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = match rest.find(';') {
+            Some(e) => e,
+            None => {
+                out.push_str(rest);
+                return Cow::Owned(out);
+            }
+        };
+        let entity = &rest[1..end];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                match u32::from_str_radix(&entity[2..], 16).ok().and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => out.push_str(&rest[..=end]),
+                }
+            }
+            _ if entity.starts_with('#') => {
+                match entity[1..].parse::<u32>().ok().and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => out.push_str(&rest[..=end]),
+                }
+            }
+            _ => out.push_str(&rest[..=end]),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_passthrough_borrows() {
+        assert!(matches!(escape_text("plain"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attribute("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_special_characters() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(escape_attribute(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        // Text mode leaves quotes alone.
+        assert_eq!(escape_text(r#""q""#), r#""q""#);
+    }
+
+    #[test]
+    fn unescape_round_trips() {
+        for s in ["a < b & c > d", r#"say "hi" & 'bye'"#, "plain", "tail&"] {
+            assert_eq!(unescape(&escape_attribute(s)), s);
+        }
+    }
+
+    #[test]
+    fn unescape_character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;"), "ABc");
+        assert_eq!(unescape("&#1114112;"), "&#1114112;"); // out of range: verbatim
+    }
+
+    #[test]
+    fn unescape_is_lenient_on_unknown_entities() {
+        assert_eq!(unescape("&nbsp; &broken"), "&nbsp; &broken");
+    }
+}

@@ -1,0 +1,33 @@
+//! XML persistence for CARDIRECT configurations.
+//!
+//! Section 4 of the paper gives the DTD verbatim:
+//!
+//! ```text
+//! <!ELEMENT Image (Region+, Relation*)>
+//! <!ATTLIST Image name CDATA #IMPLIED file CDATA #IMPLIED>
+//! <!ELEMENT Region (Polygon*)>
+//! <!ATTLIST Region id ID #REQUIRED name CDATA #IMPLIED color CDATA #IMPLIED>
+//! <!ELEMENT Polygon (Edge, Edge, Edge, Edge*)>
+//! <!ATTLIST Polygon id CDATA #REQUIRED>
+//! <!ELEMENT Edge EMPTY>
+//! <!ATTLIST Edge x CDATA #REQUIRED y CDATA #REQUIRED>
+//! <!ELEMENT Relation EMPTY>
+//! <!ATTLIST Relation type CDATA #REQUIRED
+//!           primary IDREF #REQUIRED reference IDREF #REQUIRED>
+//! ```
+//!
+//! The writer emits exactly this vocabulary; the reader is a small
+//! hand-rolled event parser (no external XML crates — the persistence
+//! layer is part of the reproduction). Supported XML subset: prolog,
+//! comments, elements, attributes with either quote style and the five
+//! predefined entities. Unsupported (and unneeded by the DTD): CDATA
+//! sections, processing instructions beyond the prolog, namespaces,
+//! DOCTYPE internal subsets.
+
+mod escape;
+mod parser;
+mod schema;
+
+pub use escape::{escape_attribute, escape_text, unescape};
+pub use parser::{parse_events, Event, ParseError, Parser};
+pub use schema::{from_xml, to_xml, XmlError};

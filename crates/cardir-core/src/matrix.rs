@@ -1,0 +1,267 @@
+//! Direction-relation matrices, with and without percentages
+//! (Goyal–Egenhofer representation, Section 2 of the paper).
+
+use crate::relation::CardinalRelation;
+use crate::tile::{Tile, ALL_TILES};
+use std::fmt;
+
+/// A 3×3 boolean direction-relation matrix.
+///
+/// Row 0 is the north row, so the layout matches the matrices printed in
+/// the paper: `[NW N NE / W B E / SW S SE]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectionMatrix {
+    cells: [[bool; 3]; 3],
+}
+
+impl DirectionMatrix {
+    /// The matrix for a relation: `■` exactly at the relation's tiles.
+    pub fn from_relation(r: CardinalRelation) -> Self {
+        let mut cells = [[false; 3]; 3];
+        for t in r.tiles() {
+            let (row, col) = t.matrix_position();
+            cells[row][col] = true;
+        }
+        DirectionMatrix { cells }
+    }
+
+    /// The relation whose tiles are the `■` cells; `None` if all cells are
+    /// empty (not a valid relation).
+    pub fn relation(&self) -> Option<CardinalRelation> {
+        CardinalRelation::from_tiles(
+            ALL_TILES.into_iter().filter(|t| self.get(*t)),
+        )
+    }
+
+    /// Cell lookup by tile.
+    pub fn get(&self, t: Tile) -> bool {
+        let (row, col) = t.matrix_position();
+        self.cells[row][col]
+    }
+
+    /// Raw rows, north row first.
+    pub fn rows(&self) -> &[[bool; 3]; 3] {
+        &self.cells
+    }
+}
+
+impl From<CardinalRelation> for DirectionMatrix {
+    fn from(r: CardinalRelation) -> Self {
+        DirectionMatrix::from_relation(r)
+    }
+}
+
+impl fmt::Display for DirectionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.cells.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            for cell in row {
+                write!(f, "{}", if *cell { '■' } else { '□' })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The areas of the primary region falling in each tile of the reference
+/// region, indexed by canonical tile index. The raw quantity behind a
+/// [`PercentageMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TileAreas {
+    areas: [f64; 9],
+}
+
+impl TileAreas {
+    /// Builds from per-tile areas in canonical tile order.
+    pub fn new(areas: [f64; 9]) -> Self {
+        TileAreas { areas }
+    }
+
+    /// Area in one tile.
+    #[inline]
+    pub fn get(&self, t: Tile) -> f64 {
+        self.areas[t.index()]
+    }
+
+    /// Mutable access (used by the accumulation algorithms).
+    #[inline]
+    pub fn get_mut(&mut self, t: Tile) -> &mut f64 {
+        &mut self.areas[t.index()]
+    }
+
+    /// Total area over all tiles (the primary region's area).
+    pub fn total(&self) -> f64 {
+        self.areas.iter().sum()
+    }
+
+    /// The tiles holding more than `eps` area, as a qualitative relation.
+    ///
+    /// `eps` is an absolute area threshold; callers typically pass a value
+    /// scaled to the primary region's area.
+    pub fn relation(&self, eps: f64) -> Option<CardinalRelation> {
+        CardinalRelation::from_tiles(ALL_TILES.into_iter().filter(|t| self.get(*t) > eps))
+    }
+
+    /// Converts to percentages of the total area.
+    pub fn percentages(&self) -> PercentageMatrix {
+        PercentageMatrix::from_areas(*self)
+    }
+
+    /// Raw areas in canonical tile order.
+    pub fn as_array(&self) -> [f64; 9] {
+        self.areas
+    }
+}
+
+/// A 3×3 cardinal direction matrix *with percentages* (Section 2): cell
+/// `(dir)` holds `100 % · area(dir(b) ∩ a) / area(a)`.
+///
+/// Invariants maintained by construction: every cell is non-negative and
+/// the cells sum to 100 (up to round-off).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentageMatrix {
+    cells: [[f64; 3]; 3],
+}
+
+impl PercentageMatrix {
+    /// Builds the percentage matrix from per-tile areas.
+    pub fn from_areas(areas: TileAreas) -> Self {
+        let total = areas.total();
+        let mut cells = [[0.0; 3]; 3];
+        if total > 0.0 {
+            for t in ALL_TILES {
+                let (row, col) = t.matrix_position();
+                cells[row][col] = 100.0 * areas.get(t) / total;
+            }
+        }
+        PercentageMatrix { cells }
+    }
+
+    /// Percentage for one tile.
+    pub fn get(&self, t: Tile) -> f64 {
+        let (row, col) = t.matrix_position();
+        self.cells[row][col]
+    }
+
+    /// Raw rows, north row first.
+    pub fn rows(&self) -> &[[f64; 3]; 3] {
+        &self.cells
+    }
+
+    /// Sum over all cells (≈ 100).
+    pub fn sum(&self) -> f64 {
+        self.cells.iter().flatten().sum()
+    }
+
+    /// The qualitative relation of all tiles holding more than
+    /// `eps_percent` of the region.
+    pub fn relation(&self, eps_percent: f64) -> Option<CardinalRelation> {
+        CardinalRelation::from_tiles(ALL_TILES.into_iter().filter(|t| self.get(*t) > eps_percent))
+    }
+
+    /// Compares two matrices cell-wise within `eps` percentage points.
+    pub fn approx_eq(&self, other: &PercentageMatrix, eps: f64) -> bool {
+        ALL_TILES.into_iter().all(|t| (self.get(t) - other.get(t)).abs() <= eps)
+    }
+}
+
+impl fmt::Display for PercentageMatrix {
+    /// Prints like the paper's percentage matrices, e.g. `0% 0% 50%` rows.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prec = f.precision().unwrap_or(0);
+        for (i, row) in self.cells.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{cell:.prec$}%")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_matrix_matches_paper_pictures() {
+        // Paper Section 2: matrix for S has a single ■ in the middle of the
+        // south row.
+        let s: CardinalRelation = "S".parse().unwrap();
+        let m = DirectionMatrix::from_relation(s);
+        assert_eq!(m.rows(), &[[false, false, false], [false, false, false], [false, true, false]]);
+        assert_eq!(m.to_string(), "□□□\n□□□\n□■□");
+
+        // NE:E — ■ at north-east and east.
+        let ne_e: CardinalRelation = "NE:E".parse().unwrap();
+        let m = DirectionMatrix::from_relation(ne_e);
+        assert_eq!(m.to_string(), "□□■\n□□■\n□□□");
+
+        // B:S:SW:W:NW:N:E:SE — everything except NE.
+        let big: CardinalRelation = "B:S:SW:W:NW:N:E:SE".parse().unwrap();
+        let m = DirectionMatrix::from_relation(big);
+        assert_eq!(m.to_string(), "■■□\n■■■\n■■■");
+    }
+
+    #[test]
+    fn direction_matrix_round_trips() {
+        for r in CardinalRelation::all() {
+            assert_eq!(DirectionMatrix::from_relation(r).relation(), Some(r));
+        }
+    }
+
+    #[test]
+    fn tile_areas_accessors() {
+        let mut a = TileAreas::default();
+        *a.get_mut(Tile::NE) = 3.0;
+        *a.get_mut(Tile::E) = 1.0;
+        assert_eq!(a.get(Tile::NE), 3.0);
+        assert_eq!(a.total(), 4.0);
+        assert_eq!(a.relation(0.0).unwrap().to_string(), "NE:E");
+    }
+
+    #[test]
+    fn percentage_matrix_from_areas() {
+        let mut a = TileAreas::default();
+        *a.get_mut(Tile::NE) = 2.0;
+        *a.get_mut(Tile::E) = 2.0;
+        let p = a.percentages();
+        assert_eq!(p.get(Tile::NE), 50.0);
+        assert_eq!(p.get(Tile::E), 50.0);
+        assert_eq!(p.get(Tile::B), 0.0);
+        assert!((p.sum() - 100.0).abs() < 1e-12);
+        // Matches the paper's printed matrix for Fig. 1c:
+        //   0% 0% 50% / 0% 0% 50% / 0% 0% 0%
+        assert_eq!(p.to_string(), "0% 0% 50%\n0% 0% 50%\n0% 0% 0%");
+        assert_eq!(p.relation(0.0).unwrap().to_string(), "NE:E");
+    }
+
+    #[test]
+    fn percentage_matrix_precision_formatting() {
+        let mut a = TileAreas::default();
+        *a.get_mut(Tile::N) = 1.0;
+        *a.get_mut(Tile::B) = 2.0;
+        let p = a.percentages();
+        assert_eq!(format!("{p:.1}"), "0.0% 33.3% 0.0%\n0.0% 66.7% 0.0%\n0.0% 0.0% 0.0%");
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let mut a = TileAreas::default();
+        *a.get_mut(Tile::B) = 1.0;
+        let p = a.percentages();
+        let mut b = TileAreas::default();
+        *b.get_mut(Tile::B) = 1.0;
+        *b.get_mut(Tile::N) = 1e-9;
+        let q = b.percentages();
+        assert!(p.approx_eq(&q, 1e-5));
+        assert!(!p.approx_eq(&q, 1e-9));
+    }
+}

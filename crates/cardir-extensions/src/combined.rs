@@ -1,0 +1,101 @@
+//! The combined spatial descriptor the paper's future work asks for:
+//! cardinal direction + topology + qualitative distance in one call.
+
+use crate::distance::{distance_relation, min_distance, DistanceRelation, DistanceScheme};
+use crate::topology::{topological_relation, TopologicalRelation};
+use cardir_core::{compute_cdr, CardinalRelation};
+use cardir_geometry::Region;
+use std::fmt;
+
+/// A full qualitative description of `a` relative to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialDescription {
+    /// The cardinal direction relation (`a R b`).
+    pub direction: CardinalRelation,
+    /// The topological relation.
+    pub topology: TopologicalRelation,
+    /// The qualitative distance class.
+    pub distance: DistanceRelation,
+    /// The exact separation behind the distance class.
+    pub separation: f64,
+}
+
+impl fmt::Display for SpatialDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} / {} ({:.3})",
+            self.direction, self.topology, self.distance, self.separation
+        )
+    }
+}
+
+/// Describes `a` relative to `b` under `scheme`.
+///
+/// ```
+/// use cardir_extensions::{describe, DistanceScheme};
+/// use cardir_geometry::Region;
+///
+/// let b = Region::from_coords([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap();
+/// let a = Region::from_coords([(6.0, 1.0), (7.0, 1.0), (7.0, 3.0), (6.0, 3.0)]).unwrap();
+/// let d = describe(&a, &b, &DistanceScheme::scaled_to(4.0));
+/// assert_eq!(d.direction.to_string(), "E");
+/// assert_eq!(d.topology.to_string(), "disjoint");
+/// assert_eq!(d.distance.to_string(), "close");
+/// ```
+pub fn describe(a: &Region, b: &Region, scheme: &DistanceScheme) -> SpatialDescription {
+    SpatialDescription {
+        direction: compute_cdr(a, b),
+        topology: topological_relation(a, b),
+        distance: distance_relation(a, b, scheme),
+        separation: min_distance(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]).unwrap()
+    }
+
+    #[test]
+    fn consistent_cross_signals() {
+        let b = rect(0.0, 0.0, 4.0, 4.0);
+        // Overlapping across the east wall: direction B:E, topology
+        // overlaps, distance equal.
+        let a = rect(3.0, 1.0, 6.0, 3.0);
+        let d = describe(&a, &b, &DistanceScheme::scaled_to(4.0));
+        assert_eq!(d.direction.to_string(), "B:E");
+        assert_eq!(d.topology, TopologicalRelation::Overlaps);
+        assert_eq!(d.distance, DistanceRelation::Equal);
+        assert_eq!(d.separation, 0.0);
+    }
+
+    #[test]
+    fn topology_and_distance_are_coupled() {
+        let b = rect(0.0, 0.0, 4.0, 4.0);
+        let scheme = DistanceScheme::scaled_to(4.0);
+        for a in [
+            rect(1.0, 1.0, 3.0, 3.0),
+            rect(4.0, 0.0, 6.0, 4.0),
+            rect(9.0, 0.0, 10.0, 4.0),
+            rect(30.0, 0.0, 31.0, 4.0),
+        ] {
+            let d = describe(&a, &b, &scheme);
+            // Non-disjoint topology forces distance Equal, and vice versa.
+            let touching = d.topology != TopologicalRelation::Disjoint;
+            assert_eq!(touching, d.distance == DistanceRelation::Equal, "{d}");
+            assert_eq!(d.separation == 0.0, touching, "{d}");
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let b = rect(0.0, 0.0, 4.0, 4.0);
+        let a = rect(6.0, 1.0, 7.0, 3.0);
+        let d = describe(&a, &b, &DistanceScheme::scaled_to(4.0));
+        assert_eq!(d.to_string(), "E / disjoint / close (2.000)");
+    }
+}

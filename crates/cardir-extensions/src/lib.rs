@@ -1,0 +1,24 @@
+//! Extensions from the paper's future-work list.
+//!
+//! Section 5: "A second interesting topic is the possibility of combining
+//! topological \[2\] and distance relations \[3\]" with the cardinal
+//! direction machinery. This crate implements both companions over the
+//! same `REG*` regions:
+//!
+//! * [`topology`] — Egenhofer-style topological relations
+//!   (`Disjoint`, `Meets`, `Overlaps`, `Equals`, `Inside`, `Contains`)
+//!   computed from edge-crossing analysis and representative interior
+//!   points — no clipping, in the spirit of the paper's algorithms;
+//! * [`distance`] — Frank-style qualitative distance relations
+//!   (`Equal`, `Close`, `Medium`, `Far`) derived from the exact minimum
+//!   Euclidean separation of two regions under a configurable scheme;
+//! * [`combined`] — the joint descriptor the future work asks for: one
+//!   call yielding direction + topology + distance for a region pair.
+
+pub mod combined;
+pub mod distance;
+pub mod topology;
+
+pub use combined::{describe, SpatialDescription};
+pub use distance::{min_distance, DistanceRelation, DistanceScheme};
+pub use topology::{topological_relation, TopologicalRelation};

@@ -1,0 +1,115 @@
+//! One-dimensional band classification.
+//!
+//! The two lines `x = m1`, `x = m2` of a bounding box split the x axis into
+//! three closed bands (west of the box, within it, east of it); likewise for
+//! y. The cartesian product of the two band axes yields the paper's nine
+//! tiles. Working per axis keeps every classification a pair of
+//! comparisons and makes the tile mapping in `cardir-core` trivial.
+
+/// Position of a coordinate relative to the closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// Strictly below `lo` (west / south band).
+    Lower,
+    /// Within `[lo, hi]` (the bounding-box band).
+    Middle,
+    /// Strictly above `hi` (east / north band).
+    Upper,
+}
+
+/// Classifies `v` against `[lo, hi]`.
+///
+/// Values exactly on `lo` or `hi` report [`Band::Middle`]: the tiles are
+/// closed sets that include their bounding axes, and `Middle` is the
+/// deterministic default. Callers that know the local interior side (edges
+/// lying exactly on a grid line) should use [`band_of_hinted`] instead.
+#[inline]
+pub fn band_of(v: f64, lo: f64, hi: f64) -> Band {
+    debug_assert!(lo <= hi);
+    if v < lo {
+        Band::Lower
+    } else if v > hi {
+        Band::Upper
+    } else {
+        Band::Middle
+    }
+}
+
+/// Classifies `v` against `[lo, hi]`, breaking boundary ties with `hint`.
+///
+/// `hint` is the component, along this axis, of a vector pointing towards
+/// the region interior (for a clockwise polygon edge: its right normal).
+/// When `v == lo` and the interior lies below (`hint < 0`) the coordinate is
+/// attributed to [`Band::Lower`]; when `v == hi` and the interior lies above
+/// (`hint > 0`), to [`Band::Upper`]. All non-boundary values ignore the
+/// hint. This realises, exactly and without epsilons, the convention that a
+/// boundary edge belongs to the tile containing the adjacent interior —
+/// required because the parts `a_i` of Definition 1 must have non-empty
+/// interiors (they are `REG*` regions), so a region whose interior lies
+/// entirely inside the bounding-box band must not spuriously report a
+/// peripheral tile merely because an edge lies on the band border.
+#[inline]
+pub fn band_of_hinted(v: f64, lo: f64, hi: f64, hint: f64) -> Band {
+    debug_assert!(lo <= hi);
+    if v < lo {
+        Band::Lower
+    } else if v > hi {
+        Band::Upper
+    } else if v == lo && hint < 0.0 && lo != hi {
+        Band::Lower
+    } else if v == hi && hint > 0.0 && lo != hi {
+        Band::Upper
+    } else if lo == hi && v == lo {
+        // Degenerate interval: the two lines coincide; fall back to the
+        // hint's sign alone.
+        if hint < 0.0 {
+            Band::Lower
+        } else if hint > 0.0 {
+            Band::Upper
+        } else {
+            Band::Middle
+        }
+    } else {
+        Band::Middle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_bands() {
+        assert_eq!(band_of(-1.0, 0.0, 2.0), Band::Lower);
+        assert_eq!(band_of(1.0, 0.0, 2.0), Band::Middle);
+        assert_eq!(band_of(3.0, 0.0, 2.0), Band::Upper);
+    }
+
+    #[test]
+    fn boundaries_default_to_middle() {
+        assert_eq!(band_of(0.0, 0.0, 2.0), Band::Middle);
+        assert_eq!(band_of(2.0, 0.0, 2.0), Band::Middle);
+    }
+
+    #[test]
+    fn hint_breaks_boundary_ties() {
+        // On the lower line: interior below → Lower, interior above → Middle.
+        assert_eq!(band_of_hinted(0.0, 0.0, 2.0, -1.0), Band::Lower);
+        assert_eq!(band_of_hinted(0.0, 0.0, 2.0, 1.0), Band::Middle);
+        assert_eq!(band_of_hinted(0.0, 0.0, 2.0, 0.0), Band::Middle);
+        // On the upper line.
+        assert_eq!(band_of_hinted(2.0, 0.0, 2.0, 1.0), Band::Upper);
+        assert_eq!(band_of_hinted(2.0, 0.0, 2.0, -1.0), Band::Middle);
+        // Interior values ignore the hint.
+        assert_eq!(band_of_hinted(1.0, 0.0, 2.0, -5.0), Band::Middle);
+        assert_eq!(band_of_hinted(-1.0, 0.0, 2.0, 5.0), Band::Lower);
+    }
+
+    #[test]
+    fn degenerate_interval_uses_hint() {
+        assert_eq!(band_of_hinted(1.0, 1.0, 1.0, -1.0), Band::Lower);
+        assert_eq!(band_of_hinted(1.0, 1.0, 1.0, 1.0), Band::Upper);
+        assert_eq!(band_of_hinted(1.0, 1.0, 1.0, 0.0), Band::Middle);
+        assert_eq!(band_of_hinted(0.5, 1.0, 1.0, 0.0), Band::Lower);
+    }
+}

@@ -1,0 +1,67 @@
+//! 2-D computational geometry substrate for cardinal direction computation.
+//!
+//! This crate implements the data model of Skiadopoulos et al.,
+//! *Computing and Handling Cardinal Direction Information* (EDBT 2004):
+//!
+//! * [`Point`], [`Segment`] and axis-parallel [`Line`]s in the Euclidean
+//!   plane `R^2`;
+//! * simple [`Polygon`]s stored, as in the paper, as clockwise vertex lists;
+//! * composite [`Region`]s (the class `REG*`: possibly disconnected, possibly
+//!   with holes) represented as sets of interior-disjoint simple polygons;
+//! * minimum bounding boxes ([`BoundingBox`], the paper's `mbb(·)`) and the
+//!   3×3 band partition they induce ([`Band`], [`band_of`]);
+//! * the signed area expressions `E_l(AB)` / `E'_m(AB)` between an edge and a
+//!   reference line (Definition 4 of the paper) in [`area`];
+//! * Sutherland–Hodgman polygon clipping against half-planes and
+//!   (possibly unbounded) tile boxes in [`clip`] — the baseline method the
+//!   paper argues against.
+//!
+//! Everything downstream (`cardir-core`, the CARDIRECT tool layer, the
+//! reasoning layer) is built on these primitives; no external geometry
+//! crates are used.
+//!
+//! # Conventions
+//!
+//! * Coordinates are finite `f64`; the y axis points **north** (mathematical
+//!   orientation, as in the paper's figures).
+//! * Polygon vertices are normalised to **clockwise** order on construction,
+//!   matching Section 3 of the paper ("the edges of polygons are taken in a
+//!   clockwise order"). For a clockwise polygon the interior lies to the
+//!   *right* of each directed edge; [`Segment::right_normal`] exposes that
+//!   direction exactly (no epsilon).
+//! * Regions are closed point sets: boundary points belong to the region,
+//!   and [`Polygon::contains`] treats boundary points as inside.
+
+pub mod area;
+pub mod band;
+pub mod bbox;
+pub mod clip;
+pub mod line;
+pub mod point;
+pub mod polygon;
+pub mod region;
+pub mod segment;
+pub mod wkt;
+
+pub use band::{band_of, band_of_hinted, Band};
+pub use bbox::BoundingBox;
+pub use clip::{clip_polygon_half_plane, clip_polygon_tile, HalfPlane};
+pub use line::Line;
+pub use point::Point;
+pub use polygon::{Polygon, PolygonError};
+pub use region::{Region, RegionError};
+pub use segment::{segments_cross_properly, segments_intersect, Segment};
+pub use wkt::{from_wkt, to_wkt, WktError};
+
+/// Tolerance used by the crate when deciding whether a computed area is
+/// meaningfully non-zero (e.g. when dropping degenerate clip outputs).
+///
+/// This is a *relative* tolerance: callers scale it by the magnitude of the
+/// quantities involved where appropriate.
+pub const AREA_EPS: f64 = 1e-9;
+
+/// Returns `true` when two floats are equal within `eps` (absolute).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}

@@ -1,0 +1,105 @@
+//! Axis-parallel lines.
+//!
+//! The paper only ever intersects polygon edges with the four lines forming
+//! a minimum bounding box (`x = inf_x(b)`, `x = sup_x(b)`, `y = inf_y(b)`,
+//! `y = sup_y(b)`), so a dedicated axis-parallel line type keeps every
+//! intersection computation a single subtraction, comparison and division —
+//! one of the paper's selling points over general polygon clipping
+//! ("our algorithms use simple arithmetic operations and comparisons").
+
+use crate::point::Point;
+use std::fmt;
+
+/// An axis-parallel line in `R^2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Line {
+    /// The vertical line `x = m`.
+    Vertical(f64),
+    /// The horizontal line `y = l`.
+    Horizontal(f64),
+}
+
+impl Line {
+    /// Signed offset of `p` from the line.
+    ///
+    /// Positive east of a vertical line and north of a horizontal line.
+    #[inline]
+    pub fn offset(self, p: Point) -> f64 {
+        match self {
+            Line::Vertical(m) => p.x - m,
+            Line::Horizontal(l) => p.y - l,
+        }
+    }
+
+    /// Returns `true` when `p` lies exactly on the line.
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        self.offset(p) == 0.0
+    }
+
+    /// The constant coordinate of the line (`m` or `l`).
+    #[inline]
+    pub fn coordinate(self) -> f64 {
+        match self {
+            Line::Vertical(m) => m,
+            Line::Horizontal(l) => l,
+        }
+    }
+
+    /// Projects `p` orthogonally onto the line.
+    ///
+    /// These are the points `L_A`, `L_B`, `M_A`, `M_B` of Definition 4.
+    #[inline]
+    pub fn project(self, p: Point) -> Point {
+        match self {
+            Line::Vertical(m) => Point::new(m, p.y),
+            Line::Horizontal(l) => Point::new(p.x, l),
+        }
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Line::Vertical(m) => write!(f, "x = {m}"),
+            Line::Horizontal(l) => write!(f, "y = {l}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn offsets_follow_compass_signs() {
+        let v = Line::Vertical(2.0);
+        assert!(v.offset(pt(3.0, 0.0)) > 0.0); // east
+        assert!(v.offset(pt(1.0, 0.0)) < 0.0); // west
+        assert_eq!(v.offset(pt(2.0, 5.0)), 0.0);
+
+        let h = Line::Horizontal(-1.0);
+        assert!(h.offset(pt(0.0, 0.0)) > 0.0); // north
+        assert!(h.offset(pt(0.0, -2.0)) < 0.0); // south
+    }
+
+    #[test]
+    fn contains_is_exact() {
+        assert!(Line::Vertical(1.5).contains(pt(1.5, 9.0)));
+        assert!(!Line::Vertical(1.5).contains(pt(1.5 + 1e-12, 9.0)));
+        assert!(Line::Horizontal(0.0).contains(pt(-3.0, 0.0)));
+    }
+
+    #[test]
+    fn projection() {
+        assert_eq!(Line::Vertical(2.0).project(pt(5.0, 7.0)), pt(2.0, 7.0));
+        assert_eq!(Line::Horizontal(2.0).project(pt(5.0, 7.0)), pt(5.0, 2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Line::Vertical(1.0)), "x = 1");
+        assert_eq!(format!("{}", Line::Horizontal(-2.5)), "y = -2.5");
+    }
+}

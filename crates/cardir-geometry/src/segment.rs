@@ -1,0 +1,304 @@
+//! Directed line segments (polygon edges).
+
+use crate::line::Line;
+use crate::point::Point;
+use std::fmt;
+
+/// A directed segment from `a` to `b` — an edge `AB` in the paper's
+/// terminology.
+///
+/// Direction matters: polygons are clockwise, so for every edge the polygon
+/// interior lies to the *right* of the direction vector (see
+/// [`Segment::right_normal`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point `A`.
+    pub a: Point,
+    /// End point `B`.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a directed segment `A → B`.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// The direction vector `B − A`.
+    #[inline]
+    pub fn direction(self) -> Point {
+        self.b - self.a
+    }
+
+    /// The midpoint of the segment — the representative point used by
+    /// `Compute-CDR` to classify a divided edge into a tile.
+    #[inline]
+    pub fn midpoint(self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.direction().norm()
+    }
+
+    /// The reversed segment `B → A`.
+    #[inline]
+    pub fn reversed(self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// Returns `true` when the segment is degenerate (`A == B`).
+    #[inline]
+    pub fn is_degenerate(self) -> bool {
+        self.a == self.b
+    }
+
+    /// The normal pointing to the right of the direction vector.
+    ///
+    /// For edges of a *clockwise* polygon this points into the polygon
+    /// interior; the cardinal-direction algorithms use it to attribute edges
+    /// lying exactly on an `mbb` grid line to the tile containing the
+    /// adjacent interior, with no epsilon.
+    #[inline]
+    pub fn right_normal(self) -> Point {
+        let d = self.direction();
+        Point::new(d.y, -d.x)
+    }
+
+    /// Definition 3 of the paper: the line `e` *does not cross* `AB` iff
+    /// (a) they do not intersect, (b) they intersect only at `A` or `B`, or
+    /// (c) `AB` lies entirely on `e`.
+    ///
+    /// Equivalently: the two endpoints do not lie strictly on opposite sides
+    /// of the line.
+    #[inline]
+    pub fn not_crossed_by(self, line: Line) -> bool {
+        let oa = line.offset(self.a);
+        let ob = line.offset(self.b);
+        oa * ob >= 0.0 || oa == 0.0 || ob == 0.0
+    }
+
+    /// Returns `true` when `line` crosses the *interior* of the segment
+    /// (endpoints strictly on opposite sides).
+    #[inline]
+    pub fn crossed_by(self, line: Line) -> bool {
+        let oa = line.offset(self.a);
+        let ob = line.offset(self.b);
+        (oa < 0.0 && ob > 0.0) || (oa > 0.0 && ob < 0.0)
+    }
+
+    /// The interior intersection point with an axis-parallel line, if the
+    /// line crosses the open segment.
+    ///
+    /// The constant coordinate of the result is *exactly* the line
+    /// coordinate (no round-off), so downstream band classification of the
+    /// sub-edges produced by edge division is exact.
+    pub fn crossing_point(self, line: Line) -> Option<Point> {
+        if !self.crossed_by(line) {
+            return None;
+        }
+        let oa = line.offset(self.a);
+        let ob = line.offset(self.b);
+        // oa and ob have strictly opposite signs, so oa - ob != 0.
+        let t = oa / (oa - ob);
+        let p = self.a.lerp(self.b, t);
+        Some(match line {
+            Line::Vertical(m) => Point::new(m, p.y),
+            Line::Horizontal(l) => Point::new(p.x, l),
+        })
+    }
+
+    /// Parameter of the interior crossing with `line` along the segment
+    /// (`0 < t < 1`), if any.
+    pub fn crossing_parameter(self, line: Line) -> Option<f64> {
+        if !self.crossed_by(line) {
+            return None;
+        }
+        let oa = line.offset(self.a);
+        let ob = line.offset(self.b);
+        Some(oa / (oa - ob))
+    }
+
+    /// Returns `true` when the whole segment lies on `line`.
+    #[inline]
+    pub fn lies_on(self, line: Line) -> bool {
+        line.contains(self.a) && line.contains(self.b)
+    }
+
+    /// Returns `true` when `p` lies on the closed segment.
+    ///
+    /// Exact for points produced by [`Segment::crossing_point`] on
+    /// axis-parallel segments; within round-off otherwise.
+    pub fn contains_point(self, p: Point, eps: f64) -> bool {
+        let d = self.direction();
+        let ap = p - self.a;
+        let cross = d.cross(ap);
+        let scale = d.norm().max(1.0);
+        if cross.abs() > eps * scale {
+            return false;
+        }
+        let t = ap.dot(d);
+        (-eps * scale..=d.norm_sq() + eps * scale).contains(&t)
+    }
+}
+
+/// Closed-segment intersection test: shared endpoints, collinear overlap
+/// and interior crossings all count.
+pub fn segments_intersect(s: Segment, t: Segment) -> bool {
+    use crate::point::orient;
+    let d1 = orient(t.a, t.b, s.a);
+    let d2 = orient(t.a, t.b, s.b);
+    let d3 = orient(s.a, s.b, t.a);
+    let d4 = orient(s.a, s.b, t.b);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    let on = |d: f64, seg: Segment, p: Point| d == 0.0 && seg.contains_point(p, 0.0);
+    on(d1, t, s.a) || on(d2, t, s.b) || on(d3, s, t.a) || on(d4, s, t.b)
+}
+
+/// Proper-crossing test: the *interiors* of both segments cross (touches
+/// at endpoints and collinear overlaps do not count).
+pub fn segments_cross_properly(s: Segment, t: Segment) -> bool {
+    use crate::point::orient;
+    let d1 = orient(t.a, t.b, s.a);
+    let d2 = orient(t.a, t.b, s.b);
+    let d3 = orient(s.a, s.b, t.a);
+    let d4 = orient(s.a, s.b, t.b);
+    ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.a, self.b)
+    }
+}
+
+/// Shorthand constructor for tests and examples.
+#[inline]
+pub fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+    Segment::new(Point::new(ax, ay), Point::new(bx, by))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+
+    #[test]
+    fn basic_accessors() {
+        let s = seg(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(s.direction(), pt(4.0, 2.0));
+        assert_eq!(s.midpoint(), pt(2.0, 1.0));
+        assert_eq!(s.reversed(), seg(4.0, 2.0, 0.0, 0.0));
+        assert!(!s.is_degenerate());
+        assert!(seg(1.0, 1.0, 1.0, 1.0).is_degenerate());
+    }
+
+    #[test]
+    fn right_normal_points_into_clockwise_interior() {
+        // Top edge of a clockwise unit square: NW (0,1) → NE (1,1).
+        // Interior is below, so the right normal must point south.
+        let top = seg(0.0, 1.0, 1.0, 1.0);
+        assert_eq!(top.right_normal(), pt(0.0, -1.0));
+        // East edge NE (1,1) → SE (1,0): interior to the west.
+        let east = seg(1.0, 1.0, 1.0, 0.0);
+        assert_eq!(east.right_normal(), pt(-1.0, 0.0));
+    }
+
+    #[test]
+    fn definition_3_not_crossed() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        // (a) no intersection
+        assert!(s.not_crossed_by(Line::Vertical(5.0)));
+        // (b) intersects only at an endpoint
+        assert!(s.not_crossed_by(Line::Vertical(0.0)));
+        assert!(s.not_crossed_by(Line::Horizontal(2.0)));
+        // (c) lies on the line
+        let flat = seg(0.0, 1.0, 3.0, 1.0);
+        assert!(flat.not_crossed_by(Line::Horizontal(1.0)));
+        assert!(flat.lies_on(Line::Horizontal(1.0)));
+        // a genuine crossing
+        assert!(!s.not_crossed_by(Line::Vertical(1.0)));
+        assert!(s.crossed_by(Line::Vertical(1.0)));
+    }
+
+    #[test]
+    fn crossing_point_is_exact_on_line() {
+        let s = seg(0.0, 0.0, 3.0, 1.0);
+        let p = s.crossing_point(Line::Vertical(1.0)).unwrap();
+        assert_eq!(p.x, 1.0); // exactly on the line
+        assert!((p.y - 1.0 / 3.0).abs() < 1e-15);
+
+        let q = s.crossing_point(Line::Horizontal(0.5)).unwrap();
+        assert_eq!(q.y, 0.5);
+        assert_eq!(q.x, 1.5);
+    }
+
+    #[test]
+    fn crossing_point_absent_for_touching_or_disjoint() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(s.crossing_point(Line::Vertical(0.0)).is_none()); // endpoint touch
+        assert!(s.crossing_point(Line::Vertical(3.0)).is_none()); // disjoint
+        let flat = seg(0.0, 1.0, 3.0, 1.0);
+        assert!(flat.crossing_point(Line::Horizontal(1.0)).is_none()); // collinear
+    }
+
+    #[test]
+    fn crossing_parameter_matches_point() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        // Shifted so that the line crosses the interior.
+        let s = Segment::new(s.a, pt(4.0, 4.0));
+        let t = s.crossing_parameter(Line::Horizontal(1.0)).unwrap();
+        assert!((t - 0.25).abs() < 1e-15);
+        assert_eq!(s.crossing_point(Line::Horizontal(1.0)).unwrap(), s.a.lerp(s.b, t).into_exact_y(1.0));
+    }
+
+    trait IntoExactY {
+        fn into_exact_y(self, y: f64) -> Point;
+    }
+    impl IntoExactY for Point {
+        fn into_exact_y(self, y: f64) -> Point {
+            pt(self.x, y)
+        }
+    }
+
+    #[test]
+    fn intersection_predicates() {
+        let s = seg(0.0, 0.0, 4.0, 4.0);
+        let crossing = seg(0.0, 4.0, 4.0, 0.0);
+        assert!(segments_intersect(s, crossing));
+        assert!(segments_cross_properly(s, crossing));
+        // Endpoint touch: intersects but not properly.
+        let touch = seg(4.0, 4.0, 8.0, 0.0);
+        assert!(segments_intersect(s, touch));
+        assert!(!segments_cross_properly(s, touch));
+        // Collinear overlap: intersects but not properly.
+        let overlap = seg(2.0, 2.0, 6.0, 6.0);
+        assert!(segments_intersect(s, overlap));
+        assert!(!segments_cross_properly(s, overlap));
+        // T-contact (endpoint on interior): intersects, not proper.
+        let tee = seg(2.0, 2.0, 2.0, 8.0);
+        assert!(segments_intersect(s, tee));
+        assert!(!segments_cross_properly(s, tee));
+        // Disjoint.
+        let far = seg(10.0, 10.0, 11.0, 11.0);
+        assert!(!segments_intersect(s, far));
+    }
+
+    #[test]
+    fn contains_point_on_segment() {
+        let s = seg(0.0, 0.0, 4.0, 2.0);
+        assert!(s.contains_point(pt(2.0, 1.0), 1e-12));
+        assert!(s.contains_point(pt(0.0, 0.0), 1e-12));
+        assert!(s.contains_point(pt(4.0, 2.0), 1e-12));
+        assert!(!s.contains_point(pt(2.0, 1.1), 1e-12));
+        assert!(!s.contains_point(pt(5.0, 2.5), 1e-12)); // collinear but beyond B
+    }
+}

@@ -1,0 +1,32 @@
+//! An R-tree over minimum bounding boxes.
+//!
+//! CARDIRECT answers queries that join annotated regions through cardinal
+//! direction predicates. A direction predicate `a R b` constrains where
+//! `mbb(a)` may lie relative to the grid lines of `mbb(b)` (`a` must be
+//! contained in the hull of `R`'s tiles), so candidate regions can be
+//! retrieved with a rectangle search — the classic GIS filter step. This
+//! crate provides that index: a dynamic R-tree with quadratic node splits
+//! (Guttman's algorithm), generic over the stored payload.
+//!
+//! Search rectangles may have infinite extents (e.g. "everything west of
+//! `x = m1`"), which is exactly what the unbounded peripheral tiles need.
+//!
+//! # Example
+//!
+//! ```
+//! use cardir_geometry::{BoundingBox, Point};
+//! use cardir_index::RTree;
+//!
+//! let mut tree = RTree::new();
+//! for i in 0..100 {
+//!     let x = (i % 10) as f64 * 10.0;
+//!     let y = (i / 10) as f64 * 10.0;
+//!     tree.insert(BoundingBox::new(Point::new(x, y), Point::new(x + 5.0, y + 5.0)), i);
+//! }
+//! let hits = tree.search(BoundingBox::new(Point::new(0.0, 0.0), Point::new(16.0, 16.0)));
+//! assert_eq!(hits.len(), 4);
+//! ```
+
+mod rtree;
+
+pub use rtree::RTree;

@@ -1,0 +1,206 @@
+//! Disjunctive cardinal direction relations — the powerset `2^{D*}`.
+//!
+//! Section 2 of the paper: "Using the relations of `D*` as our basis, we
+//! can define the powerset `2^{D*}` of `D*` which contains `2^511`
+//! relations. Elements of `2^{D*}` are called *disjunctive* cardinal
+//! direction relations and can be used to represent not only definite but
+//! also indefinite information", e.g. `a {N, W} b` means `a N b` or
+//! `a W b`.
+//!
+//! A disjunctive relation is a set of basic relations; we store it as a
+//! 512-bit set indexed by the basic relation's 9-bit tile mask (bit 0 is
+//! unused — there is no empty basic relation).
+
+use cardir_core::CardinalRelation;
+use std::fmt;
+
+/// A set of basic cardinal direction relations (an element of `2^{D*}`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DisjunctiveRelation {
+    words: [u64; 8],
+}
+
+impl DisjunctiveRelation {
+    /// The empty set (the unsatisfiable relation).
+    pub const EMPTY: DisjunctiveRelation = DisjunctiveRelation { words: [0; 8] };
+
+    /// Builds a singleton set.
+    pub fn singleton(r: CardinalRelation) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(r);
+        s
+    }
+
+    /// Builds a set from basic relations.
+    pub fn from_relations<I: IntoIterator<Item = CardinalRelation>>(rels: I) -> Self {
+        let mut s = Self::EMPTY;
+        for r in rels {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// The universal relation: all 511 basic relations.
+    pub fn universal() -> Self {
+        Self::from_relations(CardinalRelation::all())
+    }
+
+    /// Inserts a basic relation. Returns `true` when newly added.
+    pub fn insert(&mut self, r: CardinalRelation) -> bool {
+        let bit = r.bits() as usize;
+        let (w, b) = (bit / 64, bit % 64);
+        let was = self.words[w] >> b & 1;
+        self.words[w] |= 1 << b;
+        was == 0
+    }
+
+    /// Removes a basic relation. Returns `true` when it was present.
+    pub fn remove(&mut self, r: CardinalRelation) -> bool {
+        let bit = r.bits() as usize;
+        let (w, b) = (bit / 64, bit % 64);
+        let was = self.words[w] >> b & 1;
+        self.words[w] &= !(1 << b);
+        was == 1
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: CardinalRelation) -> bool {
+        let bit = r.bits() as usize;
+        self.words[bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Number of basic relations in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Set union (disjunction of the represented information).
+    pub fn union(&self, other: &Self) -> Self {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words) {
+            *w |= o;
+        }
+        DisjunctiveRelation { words }
+    }
+
+    /// Set intersection (conjunction: both constraints must hold).
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words) {
+            *w &= o;
+        }
+        DisjunctiveRelation { words }
+    }
+
+    /// Set difference.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words) {
+            *w &= !o;
+        }
+        DisjunctiveRelation { words }
+    }
+
+    /// Subset test.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        self.words.iter().zip(other.words).all(|(w, o)| w & !o == 0)
+    }
+
+    /// Iterates the member basic relations in ascending bit order.
+    pub fn iter(&self) -> impl Iterator<Item = CardinalRelation> + '_ {
+        (1u16..512).filter_map(move |bits| {
+            let r = CardinalRelation::from_bits(bits)?;
+            self.contains(r).then_some(r)
+        })
+    }
+}
+
+impl FromIterator<CardinalRelation> for DisjunctiveRelation {
+    fn from_iter<I: IntoIterator<Item = CardinalRelation>>(iter: I) -> Self {
+        Self::from_relations(iter)
+    }
+}
+
+impl fmt::Debug for DisjunctiveRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DisjunctiveRelation({self})")
+    }
+}
+
+impl fmt::Display for DisjunctiveRelation {
+    /// Prints like the paper: `{N, W}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(s: &str) -> CardinalRelation {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut d = DisjunctiveRelation::EMPTY;
+        assert!(d.is_empty());
+        assert!(d.insert(rel("N")));
+        assert!(!d.insert(rel("N")));
+        assert!(d.insert(rel("B:S:SW")));
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(rel("N")));
+        assert!(!d.contains(rel("S")));
+        assert!(d.remove(rel("N")));
+        assert!(!d.remove(rel("N")));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn universal_has_511_members() {
+        let u = DisjunctiveRelation::universal();
+        assert_eq!(u.len(), 511);
+        assert!(DisjunctiveRelation::singleton(rel("NE:E")).is_subset_of(&u));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = DisjunctiveRelation::from_relations([rel("N"), rel("W")]);
+        let b = DisjunctiveRelation::from_relations([rel("W"), rel("S")]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert!(a.intersection(&b).contains(rel("W")));
+        assert_eq!(a.difference(&b).len(), 1);
+        assert!(a.difference(&b).contains(rel("N")));
+        assert!(a.intersection(&b).is_subset_of(&a));
+    }
+
+    #[test]
+    fn iteration_and_display() {
+        let d = DisjunctiveRelation::from_relations([rel("N"), rel("W")]);
+        let members: Vec<String> = d.iter().map(|r| r.to_string()).collect();
+        // Bit order: W (bit 3) before N (bit 5).
+        assert_eq!(members, ["W", "N"]);
+        assert_eq!(d.to_string(), "{W, N}");
+        assert_eq!(DisjunctiveRelation::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let d: DisjunctiveRelation = CardinalRelation::all().take(10).collect();
+        assert_eq!(d.len(), 10);
+    }
+}

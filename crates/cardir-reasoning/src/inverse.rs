@@ -1,0 +1,86 @@
+//! Inverse relations.
+//!
+//! Section 2 of the paper: "the inverse of a cardinal direction relation
+//! `R`, denoted by `inv(R)`, is not always a cardinal direction relation
+//! but, in general, it is a disjunctive cardinal direction relation". The
+//! inverse is exactly the row of the realizable-pair table: every `R2`
+//! such that `a R b ∧ b R2 a` is satisfiable.
+
+use crate::disjunctive::DisjunctiveRelation;
+use crate::pairs::realizable_pairs;
+use cardir_core::CardinalRelation;
+
+/// The exact inverse `inv(R)` over `REG*`, as a disjunctive relation.
+///
+/// ```
+/// use cardir_reasoning::inverse;
+/// let inv_s = inverse("S".parse().unwrap());
+/// // a S b admits b N a (among others) but never b S a.
+/// assert!(inv_s.contains("N".parse().unwrap()));
+/// assert!(!inv_s.contains("S".parse().unwrap()));
+/// ```
+pub fn inverse(r: CardinalRelation) -> DisjunctiveRelation {
+    *realizable_pairs().compatible(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardir_core::{compute_cdr, Tile};
+    use cardir_geometry::Region;
+
+    fn rel(s: &str) -> CardinalRelation {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn inverse_round_trip_property() {
+        // Paper Section 2, conditions (c)/(d): R1 is a disjunct of
+        // inv(R2) iff R2 is a disjunct of inv(R1).
+        for r1 in CardinalRelation::all() {
+            for r2 in inverse(r1).iter() {
+                assert!(inverse(r2).contains(r1), "({r1}, {r2})");
+            }
+        }
+    }
+
+    #[test]
+    fn omni_inverse_contains_b() {
+        // If a covers all nine tiles of b, then b sits inside mbb(a): B is
+        // among the possible inverses.
+        assert!(inverse(CardinalRelation::OMNI).contains(rel("B")));
+    }
+
+    #[test]
+    fn observed_geometric_pairs_are_in_the_inverse() {
+        // Compute relations on concrete geometry both ways and check the
+        // observed pair is predicted by the table.
+        let b = Region::from_coords([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap();
+        let shapes = [
+            Region::from_coords([(1.0, -3.0), (3.0, -3.0), (3.0, -1.0), (1.0, -1.0)]).unwrap(),
+            Region::from_coords([(5.0, 2.0), (7.0, 2.0), (7.0, 6.0), (5.0, 6.0)]).unwrap(),
+            Region::from_coords([(-6.0, -3.0), (3.0, 10.0), (10.0, -5.0)]).unwrap(),
+            Region::from_coords([(-2.0, 2.0), (-3.0, 5.0), (-1.0, 6.0), (5.0, 4.0)]).unwrap(),
+            Region::from_coords([(3.0, 3.0), (5.0, 3.0), (5.0, 5.0), (3.0, 5.0)]).unwrap(),
+        ];
+        for a in &shapes {
+            let r_ab = compute_cdr(a, &b);
+            let r_ba = compute_cdr(&b, a);
+            assert!(
+                inverse(r_ab).contains(r_ba),
+                "observed pair ({r_ab}, {r_ba}) missing from the table"
+            );
+        }
+    }
+
+    #[test]
+    fn single_tile_inverse_tiles_point_back() {
+        // Every relation in inv(SW) uses only NE-ward tiles.
+        for r in inverse(rel("SW")).iter() {
+            for t in r.tiles() {
+                assert_eq!(t, Tile::NE, "inv(SW) must be exactly {{NE}}, found {r}");
+            }
+        }
+        assert_eq!(inverse(rel("SW")).len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Connected-component analysis over label rasters.
+
+use crate::raster::Raster;
+
+/// Pixel adjacency used when growing components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connectivity {
+    /// Edge-adjacent cells only (the default for region extraction; it
+    /// matches the polygonal interpretation where diagonal cells share
+    /// only a point, which has no interior).
+    Four,
+    /// Edge- or corner-adjacent cells.
+    Eight,
+}
+
+/// One connected component of equal-label cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// The component's label.
+    pub label: u32,
+    /// Member cells as `(col, row)` pairs, in scan order.
+    pub cells: Vec<(usize, usize)>,
+}
+
+impl Component {
+    /// Number of member cells (the component's area in cell units).
+    pub fn area(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl Raster {
+    /// Finds all connected components of non-background labels.
+    ///
+    /// Components are returned in scan order of their first cell
+    /// (south-west to north-east), so the output is deterministic.
+    pub fn components(&self, connectivity: Connectivity) -> Vec<Component> {
+        let (w, h) = (self.width(), self.height());
+        let mut visited = vec![false; w * h];
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for row in 0..h {
+            for col in 0..w {
+                let idx = row * w + col;
+                if visited[idx] {
+                    continue;
+                }
+                let label = self.get(col, row).expect("in bounds");
+                if label == Raster::BACKGROUND {
+                    visited[idx] = true;
+                    continue;
+                }
+                // Flood fill.
+                let mut cells = Vec::new();
+                visited[idx] = true;
+                stack.push((col, row));
+                while let Some((c, r)) = stack.pop() {
+                    cells.push((c, r));
+                    let mut try_cell = |cc: isize, rr: isize| {
+                        if cc < 0 || rr < 0 {
+                            return;
+                        }
+                        let (cc, rr) = (cc as usize, rr as usize);
+                        if cc >= w || rr >= h {
+                            return;
+                        }
+                        let i = rr * w + cc;
+                        if !visited[i] && self.get(cc, rr) == Some(label) {
+                            visited[i] = true;
+                            stack.push((cc, rr));
+                        }
+                    };
+                    let (ci, ri) = (c as isize, r as isize);
+                    try_cell(ci - 1, ri);
+                    try_cell(ci + 1, ri);
+                    try_cell(ci, ri - 1);
+                    try_cell(ci, ri + 1);
+                    if connectivity == Connectivity::Eight {
+                        try_cell(ci - 1, ri - 1);
+                        try_cell(ci + 1, ri - 1);
+                        try_cell(ci - 1, ri + 1);
+                        try_cell(ci + 1, ri + 1);
+                    }
+                }
+                cells.sort_unstable_by_key(|&(c, r)| (r, c));
+                out.push(Component { label, cells });
+            }
+        }
+        out
+    }
+
+    /// All cells carrying `label`, across components.
+    pub fn cells_of(&self, label: u32) -> Vec<(usize, usize)> {
+        let mut cells = Vec::new();
+        for row in 0..self.height() {
+            for col in 0..self.width() {
+                if self.get(col, row) == Some(label) {
+                    cells.push((col, row));
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_blob() {
+        let r = Raster::from_text(
+            ".11.
+             .11.
+             ....",
+        )
+        .unwrap();
+        let comps = r.components(Connectivity::Four);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].label, 1);
+        assert_eq!(comps[0].area(), 4);
+    }
+
+    #[test]
+    fn two_components_same_label() {
+        let r = Raster::from_text("1.1").unwrap();
+        let comps = r.components(Connectivity::Four);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.label == 1 && c.area() == 1));
+        assert_eq!(r.cells_of(1).len(), 2);
+    }
+
+    #[test]
+    fn diagonal_cells_split_under_four_connectivity() {
+        let r = Raster::from_text(
+            "1.
+             .1",
+        )
+        .unwrap();
+        assert_eq!(r.components(Connectivity::Four).len(), 2);
+        assert_eq!(r.components(Connectivity::Eight).len(), 1);
+    }
+
+    #[test]
+    fn different_labels_never_merge() {
+        let r = Raster::from_text("12").unwrap();
+        let comps = r.components(Connectivity::Eight);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].label, 1);
+        assert_eq!(comps[1].label, 2);
+    }
+
+    #[test]
+    fn background_is_skipped() {
+        let r = Raster::from_text("...").unwrap();
+        assert!(r.components(Connectivity::Four).is_empty());
+    }
+
+    #[test]
+    fn deterministic_scan_order() {
+        let r = Raster::from_text(
+            "..2
+             1..",
+        )
+        .unwrap();
+        let comps = r.components(Connectivity::Four);
+        // Row 0 (south) scans first: label 1 before label 2.
+        assert_eq!(comps[0].label, 1);
+        assert_eq!(comps[1].label, 2);
+    }
+}

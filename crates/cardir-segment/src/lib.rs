@@ -1,0 +1,30 @@
+//! Raster segmentation for CARDIRECT.
+//!
+//! The paper's usage scenario (Sections 1 and 4) assumes "the user
+//! identifies and annotates interesting areas in an image or a map
+//! (possibly with the use of special segmentation software)", and
+//! Section 5 names "the integration of CARDIRECT with image segmentation
+//! software" as the long-term goal. That software is proprietary and
+//! unavailable, so this crate implements the closest self-contained
+//! equivalent (DESIGN.md §4): a label raster ("segmented image"),
+//! connected-component analysis, and extraction of each label's cells as
+//! a polygonal [`Region`](cardir_geometry::Region) in `REG*` — exactly the input class the
+//! cardinal-direction algorithms consume. Disconnected labels become
+//! disconnected regions; labels enclosing other labels produce regions
+//! with holes, both of which the paper's model is explicitly built for.
+//!
+//! Pipeline: [`Raster`] → [`Raster::components`] /
+//! [`Raster::extract_region`] → `cardir_geometry::Region` (→ a CARDIRECT
+//! configuration, see the `segmentation_pipeline` example).
+
+mod components;
+mod extract;
+mod raster;
+mod synth;
+mod trace;
+
+pub use components::{Component, Connectivity};
+pub use extract::region_from_cells;
+pub use raster::{Raster, RasterError};
+pub use synth::random_blobs;
+pub use trace::{trace_boundaries, BoundaryLoop};

@@ -1,0 +1,112 @@
+//! Synthetic segmented images.
+//!
+//! Stands in for the paper's segmentation software on real imagery:
+//! grows `n` labelled blobs from random seeds by repeated boundary
+//! accretion, producing organic connected regions like a segmentation
+//! pass would.
+
+use crate::raster::Raster;
+use rand::Rng;
+
+/// Generates a `width × height` raster with `n_labels` blobs, each grown
+/// for `growth` accretion steps from a random seed cell. Later labels
+/// never overwrite earlier ones, so every label keeps one connected
+/// component (or stays absent if its seed landed on an existing blob and
+/// no free neighbour was available).
+pub fn random_blobs<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: usize,
+    height: usize,
+    n_labels: u32,
+    growth: usize,
+) -> Raster {
+    assert!(width > 0 && height > 0);
+    let mut raster = Raster::from_fn(width, height, |_, _| 0).expect("positive dimensions");
+    for label in 1..=n_labels {
+        // Find a free seed (bounded attempts keep this total).
+        let mut seed = None;
+        for _ in 0..width * height {
+            let c = rng.random_range(0..width);
+            let r = rng.random_range(0..height);
+            if raster.get(c, r) == Some(0) {
+                seed = Some((c, r));
+                break;
+            }
+        }
+        let Some((sc, sr)) = seed else { continue };
+        raster.set(sc, sr, label);
+        let mut frontier = vec![(sc, sr)];
+        for _ in 0..growth {
+            if frontier.is_empty() {
+                break;
+            }
+            let pick = rng.random_range(0..frontier.len());
+            let (c, r) = frontier[pick];
+            // Free 4-neighbours of the picked frontier cell.
+            let mut free = Vec::with_capacity(4);
+            if c > 0 && raster.get(c - 1, r) == Some(0) {
+                free.push((c - 1, r));
+            }
+            if r > 0 && raster.get(c, r - 1) == Some(0) {
+                free.push((c, r - 1));
+            }
+            if raster.get(c + 1, r) == Some(0) {
+                free.push((c + 1, r));
+            }
+            if raster.get(c, r + 1) == Some(0) {
+                free.push((c, r + 1));
+            }
+            if free.is_empty() {
+                frontier.swap_remove(pick);
+                continue;
+            }
+            let (nc, nr) = free[rng.random_range(0..free.len())];
+            raster.set(nc, nr, label);
+            frontier.push((nc, nr));
+        }
+    }
+    raster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::Connectivity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blobs_are_connected_and_disjoint() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let raster = random_blobs(&mut rng, 40, 30, 6, 50);
+        for label in raster.labels() {
+            // Each label's cells form exactly one 4-connected component.
+            let comps: Vec<_> = raster
+                .components(Connectivity::Four)
+                .into_iter()
+                .filter(|c| c.label == label)
+                .collect();
+            assert_eq!(comps.len(), 1, "label {label}");
+            assert_eq!(comps[0].area(), raster.count(label));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            random_blobs(&mut rng, 20, 20, 4, 30)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn extraction_round_trip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let raster = random_blobs(&mut rng, 30, 30, 5, 60);
+        for label in raster.labels() {
+            let region = raster.extract_region(label).unwrap();
+            assert_eq!(region.area(), raster.count(label) as f64, "label {label}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generators for the EDBT 2004 reproduction.
+//!
+//! Provides every input the test suites, examples and benchmarks consume:
+//!
+//! * [`paper`] — the exact geometries behind the paper's worked examples
+//!   (Fig. 1, Fig. 3, Fig. 4 / Examples 1–3);
+//! * [`polygons`] — random simple polygons with controlled edge counts
+//!   (star polygons) and adversarial comb shapes;
+//! * [`regions`] — composite `REG*` regions: archipelagos, frames with
+//!   holes, overlapping primary/reference pairs;
+//! * [`maps`] — synthetic annotated maps for query-evaluation workloads;
+//! * [`greece`] — the reconstructed Fig. 11 Ancient-Greece scenario;
+//! * [`sweep`] — the parameter grids of the scaling experiments.
+//!
+//! All generators take an explicit `rand::Rng`, so every workload is
+//! reproducible from a seed.
+
+pub mod greece;
+pub mod maps;
+pub mod paper;
+pub mod polygons;
+pub mod regions;
+pub mod sweep;
+
+pub use greece::{scenario as greece_scenario, Alliance, GreeceRegion};
+pub use maps::{random_map, MapRegion};
+pub use polygons::{comb_polygon, star_polygon};
+pub use regions::{archipelago, frame, overlapping_pair, RegionSpec};

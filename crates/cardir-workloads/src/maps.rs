@@ -1,0 +1,93 @@
+//! Synthetic annotated maps for query-evaluation workloads.
+//!
+//! CARDIRECT queries join regions by thematic attributes and cardinal
+//! direction predicates; evaluating them scales with the number of
+//! annotated regions. These generators produce maps with `n` labelled,
+//! coloured regions scattered over an extent — the workload for the
+//! query-evaluation and R-tree ablation benchmarks.
+
+use crate::polygons::star_polygon;
+use cardir_geometry::{BoundingBox, Point, Region};
+use rand::Rng;
+
+/// One annotated region of a synthetic map.
+#[derive(Debug, Clone)]
+pub struct MapRegion {
+    /// Unique identifier, `r0`, `r1`, ….
+    pub id: String,
+    /// Colour drawn from [`COLORS`].
+    pub color: &'static str,
+    /// Geometry.
+    pub region: Region,
+}
+
+/// The colour palette used by generated maps.
+pub const COLORS: [&str; 5] = ["blue", "red", "black", "green", "yellow"];
+
+/// Generates a map of `n` star-shaped regions with random colours inside
+/// `extent`. Regions are laid out on a jittered grid so they rarely
+/// overlap, like annotated areas on a real map.
+pub fn random_map<R: Rng + ?Sized>(rng: &mut R, n: usize, extent: BoundingBox) -> Vec<MapRegion> {
+    assert!(n >= 1);
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let pitch_x = extent.width() / cols as f64;
+    let pitch_y = extent.height() / rows as f64;
+    // Centres sit ≥ 0.4·pitch from the extent boundary after ±0.1·pitch
+    // jitter, so radii up to 0.38·min-pitch keep regions inside.
+    let r_max = pitch_x.min(pitch_y) * 0.38;
+    let r_min = r_max * 0.3;
+    (0..n)
+        .map(|i| {
+            let col = (i % cols) as f64;
+            let row = (i / cols) as f64;
+            let jx = rng.random_range(-0.1..0.1) * pitch_x;
+            let jy = rng.random_range(-0.1..0.1) * pitch_y;
+            let c = Point::new(
+                extent.min.x + (col + 0.5) * pitch_x + jx,
+                extent.min.y + (row + 0.5) * pitch_y + jy,
+            );
+            let vertices = rng.random_range(6..=14);
+            let color = COLORS[rng.random_range(0..COLORS.len())];
+            MapRegion {
+                id: format!("r{i}"),
+                color,
+                region: Region::single(star_polygon(rng, c, r_min, r_max, vertices)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn extent() -> BoundingBox {
+        BoundingBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0))
+    }
+
+    #[test]
+    fn map_has_n_unique_regions_inside_extent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let map = random_map(&mut rng, 40, extent());
+        assert_eq!(map.len(), 40);
+        let mut ids: Vec<_> = map.iter().map(|r| r.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 40);
+        for r in &map {
+            assert!(extent().contains_box(r.region.mbb()), "{}", r.id);
+            assert!(COLORS.contains(&r.color));
+        }
+    }
+
+    #[test]
+    fn single_region_map() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let map = random_map(&mut rng, 1, extent());
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[0].id, "r0");
+    }
+}

@@ -1,0 +1,44 @@
+//! Parameter sweeps shared by the benchmark harness and the experiment
+//! binaries.
+
+/// Doubling sweep `from, 2·from, …` up to and including `to` (when `to` is
+/// on the doubling grid).
+pub fn doubling(from: usize, to: usize) -> Vec<usize> {
+    assert!(from >= 1 && from <= to);
+    let mut v = Vec::new();
+    let mut k = from;
+    while k <= to {
+        v.push(k);
+        k *= 2;
+    }
+    v
+}
+
+/// The edge-count sweep used by the Theorem 1/2 scaling experiments.
+pub fn edge_sweep() -> Vec<usize> {
+    doubling(64, 65536)
+}
+
+/// The map-size sweep used by the query-evaluation ablation.
+pub fn map_sweep() -> Vec<usize> {
+    doubling(16, 4096)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_grid() {
+        assert_eq!(doubling(4, 32), vec![4, 8, 16, 32]);
+        assert_eq!(doubling(3, 20), vec![3, 6, 12]);
+        assert_eq!(doubling(5, 5), vec![5]);
+    }
+
+    #[test]
+    fn standard_sweeps_are_nonempty() {
+        assert_eq!(edge_sweep().first(), Some(&64));
+        assert_eq!(edge_sweep().last(), Some(&65536));
+        assert_eq!(map_sweep().last(), Some(&4096));
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: compute cardinal direction relations between regions.
+//!
+//! Reproduces the paper's Fig. 1 worked examples end to end: the
+//! single-tile relation `a S b`, the multi-tile relation `c NE:E b` with
+//! its 50 %/50 % percentage matrix, and the composite region `d`
+//! (disconnected, with a hole) related to `b` by everything except `NE`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cardir::core::{compute_cdr, compute_cdr_pct, DirectionMatrix};
+use cardir::workloads::paper;
+
+fn main() {
+    let b = paper::reference_b();
+
+    // Fig. 1b: a simple region strictly south of b.
+    let a = paper::fig1_a_south();
+    let rel = compute_cdr(&a, &b);
+    println!("a {rel} b");
+    assert_eq!(rel.to_string(), "S");
+
+    // Fig. 1c: c spans the north-east and east tiles.
+    let c = paper::fig1_c_northeast_east();
+    let rel = compute_cdr(&c, &b);
+    println!("c {rel} b");
+    assert_eq!(rel.to_string(), "NE:E");
+
+    // As a direction-relation matrix (the ■/□ pictures of Section 2)…
+    println!("{}", DirectionMatrix::from_relation(rel));
+
+    // …and with percentages (Compute-CDR%): 50 % NE, 50 % E.
+    let matrix = compute_cdr_pct(&c, &b);
+    println!("{matrix:.0}");
+    assert_eq!(matrix.to_string(), "0% 0% 50%\n0% 0% 50%\n0% 0% 0%");
+
+    // Fig. 1d: the composite region d = d1 ∪ … ∪ d8 (REG*: disconnected,
+    // with a hole) covers every tile except NE.
+    let d = paper::fig1_d_composite();
+    let rel = compute_cdr(&d, &b);
+    println!("d {rel} b");
+    assert_eq!(rel.to_string(), "B:S:SW:W:NW:N:E:SE");
+
+    println!("All Fig. 1 relations reproduced.");
+}

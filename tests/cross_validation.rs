@@ -1,0 +1,163 @@
+//! Property-based cross-validation of the paper's algorithms (DESIGN.md
+//! §7): on thousands of random regions, `Compute-CDR` / `Compute-CDR%`
+//! must agree with the clipping baseline, and the percentage matrices
+//! must satisfy their invariants.
+
+use cardir::core::{clipping_cdr, compute_cdr, tile_areas, ALL_TILES};
+use cardir::geometry::{Point, Region};
+use cardir::workloads::{comb_polygon, star_polygon};
+use proptest::prelude::*;
+
+/// Strategy: a star polygon with 3–40 vertices anywhere near the origin.
+fn arb_star() -> impl Strategy<Value = Region> {
+    (
+        3usize..40,
+        -10.0f64..10.0,
+        -10.0f64..10.0,
+        0.5f64..6.0,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(n, cx, cy, r, seed)| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            Region::single(star_polygon(&mut rng, Point::new(cx, cy), r * 0.4, r, n))
+        })
+}
+
+/// Strategy: a composite region of 1–4 stars spread out on a grid.
+fn arb_composite() -> impl Strategy<Value = Region> {
+    (1usize..=4, 4usize..16, 0u64..u64::MAX).prop_map(|(k, n, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let polys = (0..k).map(|i| {
+            let c = Point::new(i as f64 * 14.0 - 10.0, (i % 2) as f64 * 12.0 - 5.0);
+            star_polygon(&mut rng, c, 2.0, 5.0, n)
+        });
+        Region::new(polys.collect::<Vec<_>>()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The qualitative relation from edge division equals the one from
+    /// clipping, for random simple primaries over random references.
+    #[test]
+    fn qualitative_agrees_with_clipping(a in arb_star(), b in arb_star()) {
+        let fast = compute_cdr(&a, &b);
+        let baseline = clipping_cdr(&a, &b);
+        prop_assert_eq!(fast, baseline.relation, "a={} b={}", a, b);
+    }
+
+    /// Same for composite (REG*) primaries.
+    #[test]
+    fn composite_qualitative_agrees_with_clipping(a in arb_composite(), b in arb_star()) {
+        let fast = compute_cdr(&a, &b);
+        let baseline = clipping_cdr(&a, &b);
+        prop_assert_eq!(fast, baseline.relation);
+    }
+
+    /// Per-tile areas agree with the clipping baseline within round-off.
+    #[test]
+    fn areas_agree_with_clipping(a in arb_composite(), b in arb_star()) {
+        let fast = tile_areas(&a, &b);
+        let baseline = clipping_cdr(&a, &b);
+        let tol = 1e-9 * a.area().max(1.0);
+        for t in ALL_TILES {
+            prop_assert!(
+                (fast.get(t) - baseline.areas.get(t)).abs() < tol,
+                "tile {}: {} vs {}", t, fast.get(t), baseline.areas.get(t)
+            );
+        }
+    }
+
+    /// Tile areas are non-negative, sum to the primary's area, and their
+    /// positive support equals the qualitative relation (connecting
+    /// Theorems 1 and 2).
+    #[test]
+    fn percentage_invariants(a in arb_composite(), b in arb_star()) {
+        let areas = tile_areas(&a, &b);
+        let mut total = 0.0;
+        for t in ALL_TILES {
+            prop_assert!(areas.get(t) >= 0.0);
+            total += areas.get(t);
+        }
+        prop_assert!((total - a.area()).abs() < 1e-9 * a.area().max(1.0));
+
+        let matrix = areas.percentages();
+        prop_assert!((matrix.sum() - 100.0).abs() < 1e-9);
+
+        let from_areas = areas.relation(1e-9 * a.area().max(1.0)).unwrap();
+        let qualitative = compute_cdr(&a, &b);
+        prop_assert_eq!(from_areas, qualitative);
+    }
+
+    /// Edge division introduces at most 4 extra edges per input edge
+    /// (one per grid line) and never loses edges.
+    #[test]
+    fn division_bounds(a in arb_star(), b in arb_star()) {
+        let (_, stats) = cardir::core::compute_cdr_with_stats(&a, &b);
+        prop_assert!(stats.output_edges >= stats.input_edges);
+        prop_assert!(stats.output_edges <= 5 * stats.input_edges);
+    }
+
+    /// Translating both regions together never changes the relation.
+    #[test]
+    fn translation_invariance(a in arb_star(), b in arb_star(),
+                              dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+        let before = compute_cdr(&a, &b);
+        let after = compute_cdr(&a.translated(dx, dy), &b.translated(dx, dy));
+        prop_assert_eq!(before, after);
+    }
+
+    /// The observed pair (a R1 b, b R2 a) is always predicted realizable
+    /// by the reasoning layer's exact pair table.
+    #[test]
+    fn observed_pairs_are_realizable(a in arb_composite(), b in arb_composite()) {
+        let r_ab = compute_cdr(&a, &b);
+        let r_ba = compute_cdr(&b, &a);
+        prop_assert!(
+            cardir::reasoning::pair_realizable(r_ab, r_ba),
+            "pair ({}, {}) not in table", r_ab, r_ba
+        );
+    }
+}
+
+/// Adversarial comb shapes: many grid-line crossings, exact agreement
+/// still required.
+#[test]
+fn comb_primary_agrees_with_clipping() {
+    let b = Region::from_coords([(0.0, 0.0), (40.0, 0.0), (40.0, 3.0), (0.0, 3.0)]).unwrap();
+    for teeth in [1, 3, 10, 25] {
+        let comb = Region::single(comb_polygon(-5.0, 1.0, 6.0, 1.0, teeth));
+        let fast = compute_cdr(&comb, &b);
+        let baseline = clipping_cdr(&comb, &b);
+        assert_eq!(fast, baseline.relation, "teeth = {teeth}");
+        let fast_areas = tile_areas(&comb, &b);
+        for t in ALL_TILES {
+            assert!(
+                (fast_areas.get(t) - baseline.areas.get(t)).abs() < 1e-9 * comb.area(),
+                "teeth {teeth}, tile {t}"
+            );
+        }
+    }
+}
+
+/// Degenerate-adjacent cases: regions sharing boundary lines with the
+/// reference mbb.
+#[test]
+fn shared_boundary_cases_agree() {
+    let b = Region::from_coords([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap();
+    let cases = [
+        Region::from_coords([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap(), // identical
+        Region::from_coords([(0.0, -4.0), (4.0, -4.0), (4.0, 0.0), (0.0, 0.0)]).unwrap(), // touches south
+        Region::from_coords([(4.0, 4.0), (8.0, 4.0), (8.0, 8.0), (4.0, 8.0)]).unwrap(), // corner touch
+        Region::from_coords([(-4.0, -4.0), (8.0, -4.0), (8.0, 8.0), (-4.0, 8.0)]).unwrap(), // superset
+        Region::from_coords([(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]).unwrap(), // inside
+    ];
+    for a in cases {
+        assert_eq!(compute_cdr(&a, &b), clipping_cdr(&a, &b).relation, "a = {a}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Experiment A5 (DESIGN.md): the Section-5 future-work extensions —
+//! topological and distance relations — validated against geometry and
+//! against each other.
+
+use cardir::extensions::topology::topological_relation;
+use cardir::extensions::{describe, min_distance, DistanceRelation, DistanceScheme, TopologicalRelation};
+use cardir::geometry::{Point, Region};
+use cardir::workloads::star_polygon;
+use proptest::prelude::*;
+
+fn arb_star() -> impl Strategy<Value = Region> {
+    (3usize..24, -8.0f64..8.0, -8.0f64..8.0, 0.5f64..5.0, 0u64..u64::MAX).prop_map(
+        |(n, cx, cy, r, seed)| {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            Region::single(star_polygon(&mut rng, Point::new(cx, cy), r * 0.4, r, n))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The topological relation and its converse are consistent.
+    #[test]
+    fn topology_converse_law(a in arb_star(), b in arb_star()) {
+        let ab = topological_relation(&a, &b);
+        let ba = topological_relation(&b, &a);
+        prop_assert_eq!(ab.converse(), ba);
+    }
+
+    /// Minimum distance is symmetric, non-negative, and bounded by the
+    /// distance between any vertex pair.
+    #[test]
+    fn distance_laws(a in arb_star(), b in arb_star()) {
+        let d_ab = min_distance(&a, &b);
+        let d_ba = min_distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(d_ab >= 0.0);
+        let va = a.polygons()[0].vertices()[0];
+        let vb = b.polygons()[0].vertices()[0];
+        prop_assert!(d_ab <= va.distance(vb) + 1e-12);
+    }
+
+    /// Cross-signal consistency: topology non-disjoint ⟺ separation 0,
+    /// and the direction relation of overlapping regions includes a tile
+    /// (trivially — but crucially never panics across signals).
+    #[test]
+    fn combined_description_consistency(a in arb_star(), b in arb_star()) {
+        let scheme = DistanceScheme::scaled_to(5.0);
+        let d = describe(&a, &b, &scheme);
+        let touching = d.topology != TopologicalRelation::Disjoint;
+        prop_assert_eq!(touching, d.separation == 0.0, "{}", d);
+        prop_assert_eq!(d.distance == DistanceRelation::Equal, touching);
+        // Equality of regions forces the direction relation B.
+        if d.topology == TopologicalRelation::Equals {
+            prop_assert_eq!(d.direction.to_string(), "B");
+        }
+    }
+
+    /// Identity: every region equals itself, at distance zero.
+    #[test]
+    fn self_description(a in arb_star()) {
+        prop_assert_eq!(topological_relation(&a, &a), TopologicalRelation::Equals);
+        prop_assert_eq!(min_distance(&a, &a), 0.0);
+    }
+}
+
+/// Containment chains: scaled-down copies nest.
+#[test]
+fn scaled_copies_nest() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(5);
+    let outer_poly = star_polygon(&mut rng, Point::ORIGIN, 4.0, 6.0, 24);
+    let inner_poly = outer_poly.scaled(0.5, Point::ORIGIN).unwrap();
+    let outer = Region::single(outer_poly);
+    let inner = Region::single(inner_poly);
+    assert_eq!(topological_relation(&inner, &outer), TopologicalRelation::Inside);
+    assert_eq!(topological_relation(&outer, &inner), TopologicalRelation::Contains);
+    assert_eq!(min_distance(&inner, &outer), 0.0);
+}
+
+/// Direction and topology cooperate on the Greece scenario: regions with
+/// a B tile in their relation are the only candidates for non-disjoint
+/// topology (no two scenario regions overlap except by reconstruction).
+#[test]
+fn greece_topology_is_all_disjoint() {
+    let regions = cardir::workloads::greece_scenario();
+    for a in &regions {
+        for b in &regions {
+            if a.name == b.name {
+                continue;
+            }
+            let t = topological_relation(&a.region, &b.region);
+            assert_eq!(
+                t,
+                TopologicalRelation::Disjoint,
+                "{} vs {}: {t} (landmasses should not overlap)",
+                a.name,
+                b.name
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Robustness: none of the text front ends (XML, query language, WKT,
+//! relation parser, raster text) may panic on arbitrary input — they
+//! return structured errors instead.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,300}") {
+        let _ = cardir::cardirect::from_xml(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_tagged_soup(
+        input in "(<[A-Za-z]{1,8}( [a-z]{1,4}=('[^']{0,6}'|\"[^\"]{0,6}\"))?/?>|</[A-Za-z]{1,8}>|[a-z &;<>\"']{0,12}){0,20}"
+    ) {
+        let _ = cardir::cardirect::from_xml(&input);
+        let _ = cardir::cardirect::xml::parse_events(&input);
+    }
+
+    #[test]
+    fn query_parser_never_panics(input in ".{0,200}") {
+        let _ = cardir::cardirect::parse_query(&input);
+    }
+
+    #[test]
+    fn query_parser_never_panics_on_near_queries(
+        input in r"\{\([a-z, ]{0,10}\) *\| *[a-zA-Z(){}=:, ]{0,60}\}"
+    ) {
+        let _ = cardir::cardirect::parse_query(&input);
+    }
+
+    #[test]
+    fn wkt_parser_never_panics(input in "[A-Z()0-9 .,-]{0,200}") {
+        let _ = cardir::geometry::from_wkt(&input);
+    }
+
+    #[test]
+    fn relation_parser_never_panics(input in ".{0,40}") {
+        let _ = input.parse::<cardir::core::CardinalRelation>();
+    }
+
+    #[test]
+    fn raster_text_never_panics(input in "[ .0-9a-z\n]{0,200}") {
+        let _ = cardir::segment::Raster::from_text(&input);
+    }
+}
+
+// Round-trip laws: whatever the writers emit, the parsers accept — for
+// configurations with hostile strings in every text field, and random
+// WKT regions.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_writer_output_always_parses(name in ".{0,30}", file in ".{0,30}", color in ".{0,15}") {
+        let mut config = cardir::cardirect::Configuration::new(name, file);
+        let region = cardir::geometry::Region::from_coords(
+            [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)],
+        ).unwrap();
+        config.add_region("r1", "名前 <&>", color, region).unwrap();
+        config.compute_all_relations();
+        let xml = cardir::cardirect::to_xml(&config);
+        let back = cardir::cardirect::from_xml(&xml).unwrap();
+        prop_assert_eq!(&back.name, &config.name);
+        prop_assert_eq!(&back.file, &config.file);
+        prop_assert_eq!(&back.regions()[0].color, &config.regions()[0].color);
+    }
+
+    /// WKT round-trip law over random star regions.
+    #[test]
+    fn wkt_round_trip_random_regions(seed in 0u64..u64::MAX, n in 3usize..24, k in 1usize..4) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use cardir::geometry::{from_wkt, to_wkt, Point, Region};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let polys: Vec<_> = (0..k)
+            .map(|i| cardir::workloads::star_polygon(
+                &mut rng, Point::new(i as f64 * 20.0, 0.0), 1.0, 4.0, n))
+            .collect();
+        let region = Region::new(polys).unwrap();
+        let back = from_wkt(&to_wkt(&region)).unwrap();
+        prop_assert_eq!(back, region);
+    }
+}
