@@ -4,30 +4,22 @@
 //! line-based form costs no more, which is why `Compute-CDR%` can afford
 //! it per tile.
 
-use cardir_bench::SEED;
+use cardir_bench::{bench_case, SEED};
 use cardir_geometry::area::polygon_area_via_line;
 use cardir_geometry::{Line, Point};
-use cardir_workloads::star_polygon;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cardir_workloads::{star_polygon, SplitMix64};
 use std::hint::black_box;
 
-fn bench_area(c: &mut Criterion) {
-    let mut group = c.benchmark_group("area_methods");
+fn main() {
+    println!("== area_methods ==");
     for n in [64usize, 1024, 16384] {
-        let mut rng = StdRng::seed_from_u64(SEED);
+        let mut rng = SplitMix64::seed_from_u64(SEED);
         let poly = star_polygon(&mut rng, Point::ORIGIN, 5.0, 10.0, n);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("shoelace", n), &n, |bench, _| {
-            bench.iter(|| black_box(&poly).area());
+        bench_case(&format!("shoelace/{n}"), n as u64, || {
+            black_box(black_box(&poly).area());
         });
-        group.bench_with_input(BenchmarkId::new("e_l_line", n), &n, |bench, _| {
-            bench.iter(|| polygon_area_via_line(Line::Horizontal(-20.0), black_box(&poly)));
+        bench_case(&format!("e_l_line/{n}"), n as u64, || {
+            black_box(polygon_area_via_line(Line::Horizontal(-20.0), black_box(&poly)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_area);
-criterion_main!(benches);

@@ -1,25 +1,19 @@
 //! E4 — Theorem 1: `Compute-CDR` runs in `O(k_a + k_b)`.
 //!
-//! Sweeps the primary region's edge count; Criterion's per-size
-//! throughput lets the linearity be read off directly (time per edge
-//! should be flat across sizes).
+//! Sweeps the primary region's edge count; the per-edge column lets the
+//! linearity be read off directly (time per edge should be flat across
+//! sizes).
 
-use cardir_bench::{scaling_pair, SEED};
+use cardir_bench::{bench_case, scaling_pair, SEED};
 use cardir_core::compute_cdr;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_compute_cdr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compute_cdr/theorem1");
+fn main() {
+    println!("== compute_cdr/theorem1 ==");
     for edges in [64usize, 256, 1024, 4096, 16384] {
         let (a, b) = scaling_pair(edges, SEED);
-        group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |bench, _| {
-            bench.iter(|| compute_cdr(black_box(&a), black_box(&b)));
+        bench_case(&format!("compute_cdr/{edges}"), edges as u64, || {
+            black_box(compute_cdr(black_box(&a), black_box(&b)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compute_cdr);
-criterion_main!(benches);

@@ -1,21 +1,15 @@
 //! E5 — Theorem 2: `Compute-CDR%` runs in `O(k_a + k_b)` as well.
 
-use cardir_bench::{scaling_pair, SEED};
+use cardir_bench::{bench_case, scaling_pair, SEED};
 use cardir_core::compute_cdr_pct;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_compute_cdr_pct(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compute_cdr_pct/theorem2");
+fn main() {
+    println!("== compute_cdr_pct/theorem2 ==");
     for edges in [64usize, 256, 1024, 4096, 16384] {
         let (a, b) = scaling_pair(edges, SEED);
-        group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |bench, _| {
-            bench.iter(|| compute_cdr_pct(black_box(&a), black_box(&b)));
+        bench_case(&format!("compute_cdr_pct/{edges}"), edges as u64, || {
+            black_box(compute_cdr_pct(black_box(&a), black_box(&b)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compute_cdr_pct);
-criterion_main!(benches);

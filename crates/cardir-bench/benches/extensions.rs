@@ -2,30 +2,24 @@
 //! minimum-distance computation vs the cardinal direction computation on
 //! the same region pairs.
 
-use cardir_bench::{scaling_pair, SEED};
+use cardir_bench::{bench_case, scaling_pair, SEED};
 use cardir_core::compute_cdr;
-use cardir_extensions::topology::topological_relation;
 use cardir_extensions::min_distance;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cardir_extensions::topology::topological_relation;
 use std::hint::black_box;
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extensions");
+fn main() {
+    println!("== extensions ==");
     for edges in [64usize, 256, 1024] {
         let (a, b) = scaling_pair(edges, SEED);
-        group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(BenchmarkId::new("direction", edges), &edges, |bench, _| {
-            bench.iter(|| compute_cdr(black_box(&a), black_box(&b)));
+        bench_case(&format!("direction/{edges}"), edges as u64, || {
+            black_box(compute_cdr(black_box(&a), black_box(&b)));
         });
-        group.bench_with_input(BenchmarkId::new("topology", edges), &edges, |bench, _| {
-            bench.iter(|| topological_relation(black_box(&a), black_box(&b)));
+        bench_case(&format!("topology/{edges}"), edges as u64, || {
+            black_box(topological_relation(black_box(&a), black_box(&b)));
         });
-        group.bench_with_input(BenchmarkId::new("min_distance", edges), &edges, |bench, _| {
-            bench.iter(|| min_distance(black_box(&a), black_box(&b)));
+        bench_case(&format!("min_distance/{edges}"), edges as u64, || {
+            black_box(min_distance(black_box(&a), black_box(&b)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_extensions);
-criterion_main!(benches);

@@ -1,48 +1,42 @@
 //! E10 — costs of the reasoning layer: the realizable-pair table build,
 //! inverse lookups, network solving and weak composition.
 
+use cardir_bench::bench_case;
 use cardir_core::CardinalRelation;
 use cardir_reasoning::{inverse, realizable_pairs, weak_compose, Network};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_reasoning(c: &mut Criterion) {
+fn main() {
     // Force the table once so later benches measure lookups, not builds.
     let _ = realizable_pairs();
 
-    c.bench_function("reasoning/inverse_lookup", |b| {
-        let r: CardinalRelation = "B:S:SW:W".parse().expect("static");
-        b.iter(|| inverse(black_box(r)));
+    println!("== reasoning ==");
+    let r: CardinalRelation = "B:S:SW:W".parse().expect("static");
+    bench_case("inverse_lookup", 0, || {
+        black_box(inverse(black_box(r)));
     });
 
-    c.bench_function("reasoning/network_solve_3vars", |b| {
-        b.iter(|| {
-            let mut net = Network::new();
-            for v in ["a", "b", "c"] {
-                net.add_variable(v).expect("fresh");
-            }
-            net.add_constraint("a", "SW".parse().expect("static"), "b").expect("vars");
-            net.add_constraint("b", "SW".parse().expect("static"), "c").expect("vars");
-            net.add_constraint("a", "SW".parse().expect("static"), "c").expect("vars");
-            black_box(net.solve())
-        });
+    bench_case("network_solve_3vars", 0, || {
+        let mut net = Network::new();
+        for v in ["a", "b", "c"] {
+            net.add_variable(v).expect("fresh");
+        }
+        net.add_constraint("a", "SW".parse().expect("static"), "b").expect("vars");
+        net.add_constraint("b", "SW".parse().expect("static"), "c").expect("vars");
+        net.add_constraint("a", "SW".parse().expect("static"), "c").expect("vars");
+        black_box(net.solve());
     });
 
-    let mut group = c.benchmark_group("reasoning/weak_compose");
-    group.sample_size(10);
-    group.bench_function("single_tile", |b| {
-        b.iter(|| weak_compose(black_box("S".parse().expect("static")), black_box("W".parse().expect("static"))));
+    bench_case("weak_compose/single_tile", 0, || {
+        black_box(weak_compose(
+            black_box("S".parse().expect("static")),
+            black_box("W".parse().expect("static")),
+        ));
     });
-    group.bench_function("multi_tile", |b| {
-        b.iter(|| {
-            weak_compose(
-                black_box("B:S:SW".parse().expect("static")),
-                black_box("N:NE".parse().expect("static")),
-            )
-        });
+    bench_case("weak_compose/multi_tile", 0, || {
+        black_box(weak_compose(
+            black_box("B:S:SW".parse().expect("static")),
+            black_box("N:NE".parse().expect("static")),
+        ));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_reasoning);
-criterion_main!(benches);

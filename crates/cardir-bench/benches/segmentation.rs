@@ -2,46 +2,33 @@
 //! extraction costs across raster sizes, plus the end-to-end
 //! raster → configuration path.
 
-use cardir_bench::SEED;
+use cardir_bench::{bench_case, SEED};
 use cardir_segment::{random_blobs, Connectivity, Raster};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cardir_workloads::SplitMix64;
 use std::hint::black_box;
 
 fn make_raster(side: usize) -> Raster {
-    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rng = SplitMix64::seed_from_u64(SEED);
     random_blobs(&mut rng, side, side, 8, side * side / 12)
 }
 
-fn bench_components(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segmentation/components");
+fn main() {
+    println!("== segmentation/components ==");
     for side in [32usize, 128, 512] {
         let raster = make_raster(side);
-        group.throughput(Throughput::Elements((side * side) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bench, _| {
-            bench.iter(|| black_box(&raster).components(Connectivity::Four));
+        bench_case(&format!("components/{side}x{side}"), (side * side) as u64, || {
+            black_box(black_box(&raster).components(Connectivity::Four));
         });
     }
-    group.finish();
-}
 
-fn bench_extract(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segmentation/extract_all_labels");
+    println!("== segmentation/extract_all_labels ==");
     for side in [32usize, 128, 512] {
         let raster = make_raster(side);
         let labels = raster.labels();
-        group.throughput(Throughput::Elements((side * side) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bench, _| {
-            bench.iter(|| {
-                for &label in &labels {
-                    black_box(black_box(&raster).extract_region(label));
-                }
-            });
+        bench_case(&format!("extract/{side}x{side}"), (side * side) as u64, || {
+            for &label in &labels {
+                black_box(black_box(&raster).extract_region(label));
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_components, bench_extract);
-criterion_main!(benches);

@@ -6,48 +6,38 @@
 //! Star polygons exercise the typical case; combs the adversarial
 //! many-crossings case.
 
-use cardir_bench::{scaling_pair, SEED};
+use cardir_bench::{bench_case, scaling_pair, SEED};
 use cardir_core::{clipping_cdr, compute_cdr, compute_cdr_pct};
 use cardir_geometry::Region;
 use cardir_workloads::comb_polygon;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_star(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vs_clipping/star");
+fn main() {
+    println!("== vs_clipping/star ==");
     for edges in [64usize, 512, 4096] {
         let (a, b) = scaling_pair(edges, SEED);
-        group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(BenchmarkId::new("compute_cdr", edges), &edges, |bench, _| {
-            bench.iter(|| compute_cdr(black_box(&a), black_box(&b)));
+        bench_case(&format!("compute_cdr/{edges}"), edges as u64, || {
+            black_box(compute_cdr(black_box(&a), black_box(&b)));
         });
-        group.bench_with_input(BenchmarkId::new("compute_cdr_pct", edges), &edges, |bench, _| {
-            bench.iter(|| compute_cdr_pct(black_box(&a), black_box(&b)));
+        bench_case(&format!("compute_cdr_pct/{edges}"), edges as u64, || {
+            black_box(compute_cdr_pct(black_box(&a), black_box(&b)));
         });
-        group.bench_with_input(BenchmarkId::new("clipping", edges), &edges, |bench, _| {
-            bench.iter(|| clipping_cdr(black_box(&a), black_box(&b)));
+        bench_case(&format!("clipping/{edges}"), edges as u64, || {
+            black_box(clipping_cdr(black_box(&a), black_box(&b)));
         });
     }
-    group.finish();
-}
 
-fn bench_comb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vs_clipping/comb");
+    println!("== vs_clipping/comb ==");
     let b = Region::from_coords([(0.0, 0.0), (400.0, 0.0), (400.0, 3.0), (0.0, 3.0)])
         .expect("static geometry");
     for teeth in [8usize, 64, 512] {
         let comb = Region::single(comb_polygon(-5.0, 1.0, 6.0, 0.35, teeth));
-        let edges = comb.edge_count();
-        group.throughput(Throughput::Elements(edges as u64));
-        group.bench_with_input(BenchmarkId::new("compute_cdr", teeth), &teeth, |bench, _| {
-            bench.iter(|| compute_cdr(black_box(&comb), black_box(&b)));
+        let edges = comb.edge_count() as u64;
+        bench_case(&format!("compute_cdr/teeth={teeth}"), edges, || {
+            black_box(compute_cdr(black_box(&comb), black_box(&b)));
         });
-        group.bench_with_input(BenchmarkId::new("clipping", teeth), &teeth, |bench, _| {
-            bench.iter(|| clipping_cdr(black_box(&comb), black_box(&b)));
+        bench_case(&format!("clipping/teeth={teeth}"), edges, || {
+            black_box(clipping_cdr(black_box(&comb), black_box(&b)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_star, bench_comb);
-criterion_main!(benches);

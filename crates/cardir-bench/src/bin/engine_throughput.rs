@@ -1,0 +1,57 @@
+//! Batch-engine throughput: pairs/sec over a 1 000-region map at 1, 2,
+//! 4, and 8 worker threads, plus the MBB prefilter hit-rate.
+//!
+//! The map is the standard jittered-grid star-region workload, so most
+//! boxes are disjoint and the prefilter decides the bulk of the ~10⁶
+//! ordered pairs; the exact passes measure how well the remaining edge
+//! work scales with threads.
+
+use cardir_bench::SEED;
+use cardir_engine::{BatchEngine, EngineMode, RegionCache};
+use cardir_geometry::{BoundingBox, Point, Region};
+use cardir_workloads::{random_map, SplitMix64};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let mut rng = SplitMix64::seed_from_u64(SEED);
+    let extent = BoundingBox::new(Point::new(0.0, 0.0), Point::new(4000.0, 3000.0));
+    let regions: Vec<Region> = random_map(&mut rng, n, extent).into_iter().map(|m| m.region).collect();
+
+    let build_start = Instant::now();
+    let cache = RegionCache::build(&regions);
+    let build = build_start.elapsed();
+    println!(
+        "map: {} regions, {} edges total; cache+R-tree build {:.2?}",
+        cache.len(),
+        cache.total_edges(),
+        build
+    );
+
+    for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
+        println!("\n== {mode:?} ==");
+        let mut baseline = None;
+        for threads in [1usize, 2, 4, 8] {
+            let engine = BatchEngine::new().with_mode(mode).with_threads(threads);
+            let start = Instant::now();
+            let result = black_box(engine.compute_all(&cache));
+            let elapsed = start.elapsed();
+            let pairs_per_sec = result.stats.pairs as f64 / elapsed.as_secs_f64();
+            let speedup = match baseline {
+                None => {
+                    baseline = Some(elapsed);
+                    1.0
+                }
+                Some(b) => b.as_secs_f64() / elapsed.as_secs_f64(),
+            };
+            println!(
+                "threads {threads}: {:>10.0} pairs/sec   ({} pairs in {:.2?}, speedup {speedup:.2}x, prefilter hit-rate {:.1}%)",
+                pairs_per_sec,
+                result.stats.pairs,
+                elapsed,
+                100.0 * result.stats.hit_rate(),
+            );
+        }
+    }
+}

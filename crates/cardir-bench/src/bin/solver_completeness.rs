@@ -13,23 +13,21 @@
 use cardir_core::compute_cdr;
 use cardir_geometry::{Point, Region};
 use cardir_reasoning::{Network, Outcome};
-use cardir_workloads::star_polygon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cardir_workloads::{star_polygon, SplitMix64};
 
-fn random_scene(rng: &mut StdRng, k: usize) -> Vec<Region> {
+fn random_scene(rng: &mut SplitMix64, k: usize) -> Vec<Region> {
     (0..k)
         .map(|_| {
             let c = Point::new(rng.random_range(-12.0..12.0), rng.random_range(-12.0..12.0));
             let r = rng.random_range(1.0..6.0);
-            let n = rng.random_range(4..16);
+            let n = rng.random_range(4..16usize);
             Region::single(star_polygon(rng, c, 0.4 * r, r, n))
         })
         .collect()
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(cardir_bench::SEED);
+    let mut rng = SplitMix64::seed_from_u64(cardir_bench::SEED);
     println!("E10 — solver completeness on satisfiable-by-construction networks\n");
     println!(
         "| {:>5} | {:>7} | {:>10} | {:>8} | {:>13} |",

@@ -1,13 +1,12 @@
 //! Shared helpers for the benchmark and experiment harness.
 //!
 //! Each experiment binary regenerates one artifact of the paper (see
-//! DESIGN.md §3 for the index); the Criterion benches in `benches/`
-//! measure the same code paths with statistical rigour.
+//! DESIGN.md §3 for the index); the timing benches in `benches/` are
+//! plain binaries (`harness = false`) built on the same helpers, so the
+//! whole harness runs with no external crates and no network.
 
 use cardir_geometry::{Point, Region};
-use cardir_workloads::star_polygon;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cardir_workloads::{star_polygon, SplitMix64};
 use std::time::{Duration, Instant};
 
 /// The fixed seed used by every experiment, so reported numbers are
@@ -17,7 +16,7 @@ pub const SEED: u64 = 2004;
 /// A primary/reference pair whose mbbs overlap, with exactly `edges`
 /// edges on the primary region (the paper's `k_a`).
 pub fn scaling_pair(edges: usize, seed: u64) -> (Region, Region) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let reference = Region::single(star_polygon(&mut rng, Point::ORIGIN, 4.0, 8.0, 16));
     let primary = Region::single(star_polygon(&mut rng, Point::new(3.0, -2.0), 3.0, 9.0, edges));
     (primary, reference)
@@ -46,6 +45,21 @@ pub fn calibrate_iters<F: FnMut()>(target: Duration, mut f: F) -> usize {
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) -> String {
     format!("| {} |", cells.join(" | "))
+}
+
+/// Calibrates, times, and prints one benchmark case; returns the mean
+/// duration. `elements` (when non-zero) adds a per-element column —
+/// useful for reading linearity straight off a sweep.
+pub fn bench_case<F: FnMut()>(label: &str, elements: u64, mut f: F) -> Duration {
+    let iters = calibrate_iters(Duration::from_millis(20), &mut f);
+    let mean = time_mean(iters, &mut f);
+    if elements > 0 {
+        let per = mean.as_nanos() as f64 / elements as f64;
+        println!("{label:<44} mean {mean:>12.2?}   {per:>9.1} ns/elem   ({iters} iters)");
+    } else {
+        println!("{label:<44} mean {mean:>12.2?}   ({iters} iters)");
+    }
+    mean
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! all stored in the XML description of the configuration."
 
 use cardir_core::{compute_cdr, compute_cdr_pct, CardinalRelation, PercentageMatrix};
+use cardir_engine::{BatchEngine, EngineMode, RegionCache};
 use cardir_geometry::Region;
 use std::collections::HashMap;
 use std::fmt;
@@ -219,22 +220,34 @@ impl Configuration {
     /// Computes and stores the cardinal direction relation for **every**
     /// ordered pair of distinct regions — what the CARDIRECT GUI does when
     /// the user presses "compute relations". Replaces previously stored
-    /// relations. `O(n²)` pairs, each linear in the edge counts.
+    /// relations.
+    ///
+    /// Runs on the batch engine: per-region data is cached once, pairs
+    /// decidable from bounding boxes alone are short-circuited, and the
+    /// exact passes run on all available cores. The stored relations are
+    /// bit-identical to the naive `compute_cdr` double loop, in the same
+    /// primary-major order.
     pub fn compute_all_relations(&mut self) {
+        self.compute_all_relations_with(&BatchEngine::new().with_mode(EngineMode::Qualitative));
+    }
+
+    /// [`Self::compute_all_relations`] with an explicitly configured
+    /// engine (thread count control; the mode is forced to qualitative
+    /// since only the relation is stored).
+    pub fn compute_all_relations_with(&mut self, engine: &BatchEngine) {
         self.relations.clear();
         self.relation_map.clear();
-        for (pi, p) in self.regions.iter().enumerate() {
-            for (qi, q) in self.regions.iter().enumerate() {
-                if pi != qi {
-                    let relation = compute_cdr(&p.region, &q.region);
-                    self.relations.push(StoredRelation {
-                        relation,
-                        primary: p.id.clone(),
-                        reference: q.id.clone(),
-                    });
-                    self.relation_map.insert((pi, qi), relation);
-                }
-            }
+        let cache = RegionCache::build(self.regions.iter().map(|r| &r.region));
+        let engine = engine.clone().with_mode(EngineMode::Qualitative);
+        let result = engine.compute_all(&cache);
+        self.relations.reserve(result.pairs.len());
+        for pr in &result.pairs {
+            self.relations.push(StoredRelation {
+                relation: pr.relation,
+                primary: self.regions[pr.primary].id.clone(),
+                reference: self.regions[pr.reference].id.clone(),
+            });
+            self.relation_map.insert((pr.primary, pr.reference), pr.relation);
         }
     }
 

@@ -4,7 +4,7 @@
 use crate::divide::{classify_subedge, for_each_division, DivisionStats};
 use crate::relation::CardinalRelation;
 use crate::tile::Tile;
-use cardir_geometry::Region;
+use cardir_geometry::{BoundingBox, Region};
 
 /// Computes the cardinal direction relation `R` with `a R b` (paper
 /// Theorem 1: correct for `a, b ∈ REG*`, `O(k_a + k_b)` time).
@@ -24,10 +24,23 @@ pub fn compute_cdr(a: &Region, b: &Region) -> CardinalRelation {
     compute_cdr_with_stats(a, b).0
 }
 
+/// [`compute_cdr`] against a precomputed `mbb(b)`.
+///
+/// Bit-identical to `compute_cdr(a, b)` whenever `mbb == b.mbb()` — the
+/// relation depends on `b` only through its bounding box. The batch
+/// engine uses this to compute each reference box once per region
+/// instead of once per pair.
+pub fn compute_cdr_with_mbb(a: &Region, mbb: BoundingBox) -> CardinalRelation {
+    cdr_over_mbb(a, mbb).0
+}
+
 /// [`compute_cdr`] plus edge-division statistics (for the Fig. 3
 /// experiments).
 pub fn compute_cdr_with_stats(a: &Region, b: &Region) -> (CardinalRelation, DivisionStats) {
-    let mbb = b.mbb();
+    cdr_over_mbb(a, b.mbb())
+}
+
+fn cdr_over_mbb(a: &Region, mbb: BoundingBox) -> (CardinalRelation, DivisionStats) {
     let center = mbb.center();
     let mut bits = 0u16;
     let mut stats = DivisionStats::default();

@@ -133,7 +133,11 @@ impl PercentageMatrix {
         if total > 0.0 {
             for t in ALL_TILES {
                 let (row, col) = t.matrix_position();
-                cells[row][col] = 100.0 * areas.get(t) / total;
+                // The grouping matters: dividing first makes a tile holding
+                // the whole area come out as exactly 100.0 (x/x == 1.0 in
+                // IEEE arithmetic), which single-tile fast paths rely on to
+                // stay bit-identical with the full accumulation.
+                cells[row][col] = 100.0 * (areas.get(t) / total);
             }
         }
         PercentageMatrix { cells }

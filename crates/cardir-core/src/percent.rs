@@ -27,7 +27,7 @@ use crate::divide::{classify_subedge, for_each_division, DivisionStats};
 use crate::matrix::{PercentageMatrix, TileAreas};
 use crate::tile::Tile;
 use cardir_geometry::area::{e_l, e_m};
-use cardir_geometry::Region;
+use cardir_geometry::{BoundingBox, Region};
 
 /// Computes the per-tile areas of `a` relative to the tiles of `mbb(b)`
 /// (paper Theorem 2: correct for `a, b ∈ REG*`, `O(k_a + k_b)` time).
@@ -35,9 +35,22 @@ pub fn tile_areas(a: &Region, b: &Region) -> TileAreas {
     tile_areas_with_stats(a, b).0
 }
 
+/// [`tile_areas`] against a precomputed `mbb(b)`.
+///
+/// Bit-identical to `tile_areas(a, b)` whenever `mbb == b.mbb()` — the
+/// areas depend on `b` only through its bounding box. The batch engine
+/// uses this to compute each reference box once per region instead of
+/// once per pair.
+pub fn tile_areas_with_mbb(a: &Region, mbb: BoundingBox) -> TileAreas {
+    areas_over_mbb(a, mbb).0
+}
+
 /// [`tile_areas`] plus edge-division statistics.
 pub fn tile_areas_with_stats(a: &Region, b: &Region) -> (TileAreas, DivisionStats) {
-    let mbb = b.mbb();
+    areas_over_mbb(a, b.mbb())
+}
+
+fn areas_over_mbb(a: &Region, mbb: BoundingBox) -> (TileAreas, DivisionStats) {
     let m1 = mbb.min.x;
     let m2 = mbb.max.x;
     let l1 = mbb.min.y;

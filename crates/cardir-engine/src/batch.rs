@@ -1,0 +1,489 @@
+//! The batch engine: chunked, multi-threaded pair computation with
+//! deterministic assembly.
+//!
+//! A batch run has three stages:
+//!
+//! 1. **Cache** — the caller builds a [`RegionCache`] (MBBs, edge
+//!    counts, R-tree) once per map.
+//! 2. **Prefilter** — one [`ExactMask`](crate::prefilter::ExactMask) per
+//!    reference region, from four R-tree line searches, marks the
+//!    primaries whose relation cannot be decided from boxes alone.
+//! 3. **Exact pass** — the pair list is cut into fixed chunks; scoped
+//!    worker threads pull chunk indices from an atomic counter, compute
+//!    each pair (short-circuiting MBB-decided ones), and push their chunk
+//!    back tagged with its index. Sorting the finished chunks by index
+//!    restores exact input order, so the output is bit-identical no
+//!    matter how many workers ran or how the scheduler interleaved them.
+
+use crate::cache::RegionCache;
+use crate::prefilter::{decided_tile, exact_mask, ExactMask};
+use cardir_core::{
+    compute_cdr_with_mbb, tile_areas_with_mbb, CardinalRelation, PercentageMatrix, Tile, TileAreas,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What the engine computes per pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Qualitative relations only (`Compute-CDR`).
+    Qualitative,
+    /// Qualitative relations plus percentage matrices (`Compute-CDR%`).
+    Quantitative,
+}
+
+/// One computed ordered pair: `primary R reference`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairRelation {
+    /// Index of the primary region in the cache.
+    pub primary: usize,
+    /// Index of the reference region in the cache.
+    pub reference: usize,
+    /// The qualitative relation — bit-identical to
+    /// `compute_cdr(primary, reference)`.
+    pub relation: CardinalRelation,
+    /// The percentage matrix — bit-identical to
+    /// `compute_cdr_pct(primary, reference)`. `None` in
+    /// [`EngineMode::Qualitative`].
+    pub percentages: Option<PercentageMatrix>,
+    /// `true` when the MBB prefilter decided the whole pair without any
+    /// edge work.
+    pub via_prefilter: bool,
+}
+
+/// Aggregate statistics of one batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Ordered pairs computed.
+    pub pairs: usize,
+    /// Pairs fully short-circuited by the MBB prefilter.
+    pub prefilter_hits: usize,
+    /// Worker threads used for the exact pass.
+    pub threads: usize,
+}
+
+impl BatchStats {
+    /// Fraction of pairs the prefilter decided, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.prefilter_hits as f64 / self.pairs as f64
+        }
+    }
+}
+
+/// Result of a batch run: pairs in input order plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One entry per requested pair, in request order (for
+    /// [`BatchEngine::compute_all`]: primary-major, reference ascending,
+    /// self-pairs skipped).
+    pub pairs: Vec<PairRelation>,
+    /// Run statistics.
+    pub stats: BatchStats,
+}
+
+/// The batch pairwise-relation engine.
+///
+/// ```
+/// use cardir_engine::{BatchEngine, EngineMode, RegionCache};
+/// use cardir_geometry::Region;
+///
+/// let regions = vec![
+///     Region::from_coords([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]).unwrap(),
+///     Region::from_coords([(1.0, 6.0), (3.0, 6.0), (3.0, 8.0), (1.0, 8.0)]).unwrap(),
+/// ];
+/// let cache = RegionCache::build(&regions);
+/// let result = BatchEngine::new()
+///     .with_mode(EngineMode::Qualitative)
+///     .with_threads(2)
+///     .compute_all(&cache);
+/// assert_eq!(result.pairs.len(), 2);
+/// assert_eq!(result.pairs[0].primary, 0);
+/// assert_eq!(result.pairs[0].reference, 1);
+/// // Region 0 is south of region 1 but wider, so it spans three tiles.
+/// assert_eq!(result.pairs[0].relation.to_string(), "S:SW:SE");
+/// // Region 1 sits strictly inside N(0): the MBB prefilter decides it.
+/// assert_eq!(result.pairs[1].relation.to_string(), "N");
+/// assert!(result.pairs[1].via_prefilter);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    threads: usize,
+    mode: EngineMode,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        BatchEngine::new()
+    }
+}
+
+/// Chunk size of the work queue: big enough to amortise the atomic
+/// fetch and the per-chunk allocation, small enough to load-balance maps
+/// where a few regions carry most edges.
+const CHUNK: usize = 256;
+
+impl BatchEngine {
+    /// An engine using every available core and qualitative mode.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        BatchEngine { threads, mode: EngineMode::Qualitative }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1). The
+    /// output is identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets what to compute per pair.
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Worker threads this engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Computes every ordered pair `(i, j)`, `i ≠ j`, in primary-major
+    /// order: all references for primary 0, then primary 1, and so on —
+    /// the iteration order of a naive double loop.
+    pub fn compute_all(&self, cache: &RegionCache<'_>) -> BatchResult {
+        let n = cache.len();
+        if n < 2 {
+            return BatchResult {
+                pairs: Vec::new(),
+                stats: BatchStats { pairs: 0, prefilter_hits: 0, threads: self.threads },
+            };
+        }
+        let masks: Vec<ExactMask> = (0..n).map(|j| exact_mask(cache, j)).collect();
+        let total = n * (n - 1);
+        // Pair k → (i, j): i = k / (n−1); j skips the diagonal.
+        let pair_at = |k: usize| {
+            let i = k / (n - 1);
+            let r = k % (n - 1);
+            (i, r + usize::from(r >= i))
+        };
+        self.run(cache, &masks, total, pair_at)
+    }
+
+    /// Computes an explicit list of ordered pairs (e.g. the candidates a
+    /// query evaluator selected), preserving list order. Self-pairs are
+    /// allowed and always take the exact path.
+    ///
+    /// # Panics
+    /// Panics if a pair indexes outside the cache.
+    pub fn compute_pairs(&self, cache: &RegionCache<'_>, pairs: &[(usize, usize)]) -> BatchResult {
+        let n = cache.len();
+        assert!(
+            pairs.iter().all(|&(i, j)| i < n && j < n),
+            "pair index out of bounds for a cache of {n} regions"
+        );
+        // Masks only for references that actually occur.
+        let mut masks: Vec<Option<ExactMask>> = vec![None; n];
+        for &(_, j) in pairs {
+            if masks[j].is_none() {
+                masks[j] = Some(exact_mask(cache, j));
+            }
+        }
+        // Unused references keep a zero-length mask; it is never consulted
+        // because no pair names them.
+        let masks: Vec<ExactMask> =
+            masks.into_iter().map(|m| m.unwrap_or_else(|| ExactMask::new(0))).collect();
+        self.run(cache, &masks, pairs.len(), |k| pairs[k])
+    }
+
+    /// The chunked parallel driver shared by both entry points.
+    fn run<F>(
+        &self,
+        cache: &RegionCache<'_>,
+        masks: &[ExactMask],
+        total: usize,
+        pair_at: F,
+    ) -> BatchResult
+    where
+        F: Fn(usize) -> (usize, usize) + Sync,
+    {
+        let n_chunks = total.div_ceil(CHUNK).max(1);
+        let workers = self.threads.min(n_chunks);
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Vec<PairRelation>, usize)>> =
+            Mutex::new(Vec::with_capacity(n_chunks));
+        let mode = self.mode;
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * CHUNK;
+                    let end = (start + CHUNK).min(total);
+                    let mut local = Vec::with_capacity(end - start);
+                    let mut hits = 0usize;
+                    for k in start..end {
+                        let (i, j) = pair_at(k);
+                        let pr = compute_pair(cache, &masks[j], i, j, mode);
+                        hits += usize::from(pr.via_prefilter);
+                        local.push(pr);
+                    }
+                    done.lock().expect("worker panicked holding the lock").push((c, local, hits));
+                });
+            }
+        });
+
+        let mut chunks = done.into_inner().expect("worker panicked holding the lock");
+        chunks.sort_unstable_by_key(|&(c, _, _)| c);
+        let mut pairs = Vec::with_capacity(total);
+        let mut prefilter_hits = 0usize;
+        for (_, local, hits) in chunks {
+            pairs.extend(local);
+            prefilter_hits += hits;
+        }
+        BatchResult {
+            pairs,
+            stats: BatchStats { pairs: total, prefilter_hits, threads: workers },
+        }
+    }
+}
+
+/// Computes one ordered pair, taking the MBB short-circuit when sound.
+fn compute_pair(
+    cache: &RegionCache<'_>,
+    mask: &ExactMask,
+    i: usize,
+    j: usize,
+    mode: EngineMode,
+) -> PairRelation {
+    // The mask flags every box touching a grid line of mbb(j) — including
+    // region j itself — so a clear bit proves the strict-tile decision.
+    if i != j && !mask.needs_exact(i) {
+        let tile = decided_tile(cache.mbb(i), cache.mbb(j))
+            .expect("prefilter cleared the pair, so the primary box is strictly inside one tile");
+        let relation =
+            CardinalRelation::from_bits(tile.bit()).expect("every single tile is a valid relation");
+        match mode {
+            EngineMode::Qualitative => PairRelation {
+                primary: i,
+                reference: j,
+                relation,
+                percentages: None,
+                via_prefilter: true,
+            },
+            EngineMode::Quantitative => {
+                if tile != Tile::N {
+                    // A primary strictly inside one tile puts 100 % there.
+                    // `PercentageMatrix::from_areas` normalises x/x to
+                    // exactly 100.0, so any positive stand-in area yields
+                    // the same bits as the full accumulation.
+                    let mut areas = TileAreas::default();
+                    *areas.get_mut(tile) = 1.0;
+                    PairRelation {
+                        primary: i,
+                        reference: j,
+                        relation,
+                        percentages: Some(areas.percentages()),
+                        via_prefilter: true,
+                    }
+                } else {
+                    // The B tile's area is derived from the N accumulator
+                    // (area(B) = |a_{B+N}| − |a_N|), so an all-N primary
+                    // can leave last-ulp residue in B. Take the exact path
+                    // for the matrix to stay bit-identical; the relation
+                    // is still the prefilter's.
+                    let m = tile_areas_with_mbb(cache.region(i), cache.mbb(j)).percentages();
+                    PairRelation {
+                        primary: i,
+                        reference: j,
+                        relation,
+                        percentages: Some(m),
+                        via_prefilter: false,
+                    }
+                }
+            }
+        }
+    } else {
+        let mbb = cache.mbb(j);
+        let relation = compute_cdr_with_mbb(cache.region(i), mbb);
+        let percentages = match mode {
+            EngineMode::Qualitative => None,
+            EngineMode::Quantitative => {
+                Some(tile_areas_with_mbb(cache.region(i), mbb).percentages())
+            }
+        };
+        PairRelation { primary: i, reference: j, relation, percentages, via_prefilter: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardir_core::{compute_cdr, compute_cdr_pct};
+    use cardir_geometry::Region;
+    use cardir_workloads::SplitMix64;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]).unwrap()
+    }
+
+    fn naive_all(regions: &[Region], quantitative: bool) -> Vec<PairRelation> {
+        let mut out = Vec::new();
+        for (i, a) in regions.iter().enumerate() {
+            for (j, b) in regions.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                out.push(PairRelation {
+                    primary: i,
+                    reference: j,
+                    relation: compute_cdr(a, b),
+                    percentages: quantitative.then(|| compute_cdr_pct(a, b)),
+                    via_prefilter: false,
+                });
+            }
+        }
+        out
+    }
+
+    fn assert_matches_naive(engine: &BatchResult, naive: &[PairRelation]) {
+        assert_eq!(engine.pairs.len(), naive.len());
+        for (got, want) in engine.pairs.iter().zip(naive) {
+            assert_eq!((got.primary, got.reference), (want.primary, want.reference));
+            assert_eq!(got.relation, want.relation, "pair ({}, {})", got.primary, got.reference);
+            assert_eq!(
+                got.percentages, want.percentages,
+                "pair ({}, {}) percentages must be bit-identical",
+                got.primary, got.reference
+            );
+        }
+    }
+
+    #[test]
+    fn all_pairs_order_is_primary_major() {
+        let regions =
+            vec![rect(0.0, 0.0, 1.0, 1.0), rect(3.0, 0.0, 4.0, 1.0), rect(0.0, 3.0, 1.0, 4.0)];
+        let cache = RegionCache::build(&regions);
+        let result = BatchEngine::new().with_threads(1).compute_all(&cache);
+        let order: Vec<(usize, usize)> =
+            result.pairs.iter().map(|p| (p.primary, p.reference)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_map_both_modes() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        let extent = cardir_geometry::BoundingBox::new(
+            cardir_geometry::Point::new(0.0, 0.0),
+            cardir_geometry::Point::new(400.0, 300.0),
+        );
+        let map = cardir_workloads::random_map(&mut rng, 25, extent);
+        let regions: Vec<Region> = map.into_iter().map(|m| m.region).collect();
+        let cache = RegionCache::build(&regions);
+        for quantitative in [false, true] {
+            let mode =
+                if quantitative { EngineMode::Quantitative } else { EngineMode::Qualitative };
+            let naive = naive_all(&regions, quantitative);
+            for threads in [1, 2, 4] {
+                let result =
+                    BatchEngine::new().with_mode(mode).with_threads(threads).compute_all(&cache);
+                assert_matches_naive(&result, &naive);
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_hits_on_scattered_map() {
+        // Widely scattered small boxes: almost every pair is MBB-decided.
+        let regions: Vec<Region> = (0..6)
+            .map(|i| {
+                let x = (i as f64) * 100.0;
+                rect(x, x, x + 1.0, x + 1.0)
+            })
+            .collect();
+        let cache = RegionCache::build(&regions);
+        let result = BatchEngine::new().with_threads(2).compute_all(&cache);
+        assert_eq!(result.stats.pairs, 30);
+        assert_eq!(result.stats.prefilter_hits, 30, "all pairs are strictly diagonal");
+        assert!((result.stats.hit_rate() - 1.0).abs() < 1e-12);
+        for p in &result.pairs {
+            assert!(p.via_prefilter);
+            let expect = if p.primary < p.reference { "SW" } else { "NE" };
+            assert_eq!(p.relation.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn explicit_pairs_preserve_order_and_allow_self() {
+        let regions = vec![rect(0.0, 0.0, 4.0, 4.0), rect(1.0, 6.0, 3.0, 8.0)];
+        let cache = RegionCache::build(&regions);
+        let wanted = [(1usize, 0usize), (0, 1), (0, 0), (1, 0)];
+        let result = BatchEngine::new().with_threads(4).compute_pairs(&cache, &wanted);
+        let order: Vec<(usize, usize)> =
+            result.pairs.iter().map(|p| (p.primary, p.reference)).collect();
+        assert_eq!(order, wanted);
+        assert_eq!(result.pairs[0].relation.to_string(), "N");
+        assert_eq!(result.pairs[1].relation.to_string(), "S:SW:SE", "wider primary spans 3 tiles");
+        assert_eq!(result.pairs[2].relation.to_string(), "B", "self pair");
+        assert_eq!(result.pairs[3], result.pairs[0]);
+    }
+
+    #[test]
+    fn empty_and_single_region_maps() {
+        let cache = RegionCache::build(std::iter::empty());
+        let result = BatchEngine::new().compute_all(&cache);
+        assert!(result.pairs.is_empty());
+        let one = vec![rect(0.0, 0.0, 1.0, 1.0)];
+        let cache = RegionCache::build(&one);
+        let result = BatchEngine::new().compute_all(&cache);
+        assert!(result.pairs.is_empty());
+        let result = BatchEngine::new().compute_pairs(&cache, &[]);
+        assert!(result.pairs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_pair_panics() {
+        let regions = vec![rect(0.0, 0.0, 1.0, 1.0)];
+        let cache = RegionCache::build(&regions);
+        let _ = BatchEngine::new().compute_pairs(&cache, &[(0, 1)]);
+    }
+
+    #[test]
+    fn quantitative_fast_path_is_bit_identical_including_n_tile() {
+        // A primary strictly inside each of the nine tiles of the
+        // reference; N exercises the exact-path fallback for percentages.
+        let b = rect(0.0, 0.0, 4.0, 4.0);
+        let primaries = [
+            rect(1.7, 1.2, 2.5, 2.8),    // B
+            rect(1.0, -3.0, 3.0, -1.0),  // S
+            rect(-3.0, -3.0, -1.0, -1.0),// SW
+            rect(-3.0, 1.0, -1.0, 3.0),  // W
+            rect(-3.0, 5.0, -1.0, 7.0),  // NW
+            rect(1.3, 5.0, 2.9, 7.0),    // N
+            rect(5.0, 5.0, 7.0, 7.0),    // NE
+            rect(5.0, 1.0, 7.0, 3.0),    // E
+            rect(5.0, -3.0, 7.0, -1.0),  // SE
+        ];
+        let mut regions = vec![b];
+        regions.extend(primaries);
+        let cache = RegionCache::build(&regions);
+        let result =
+            BatchEngine::new().with_mode(EngineMode::Quantitative).with_threads(1).compute_all(&cache);
+        for p in result.pairs.iter().filter(|p| p.reference == 0) {
+            let naive = compute_cdr_pct(&regions[p.primary], &regions[0]);
+            assert_eq!(p.percentages, Some(naive), "primary {}", p.primary);
+            assert_eq!(p.relation, compute_cdr(&regions[p.primary], &regions[0]));
+        }
+    }
+}

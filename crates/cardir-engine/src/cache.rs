@@ -1,0 +1,143 @@
+//! Per-region derived data, computed once per map instead of once per
+//! pair.
+//!
+//! `Compute-CDR` / `Compute-CDR%` recompute `mbb(b)` (a reduce over the
+//! reference region's polygons) on every call; over the `n·(n−1)` ordered
+//! pairs of a map each region's box would be rebuilt `2·(n−1)` times.
+//! [`RegionCache`] hoists that work: one pass computes every region's
+//! MBB, edge count, area, and flattened edge list, and loads the MBBs
+//! into an [`RTree`] so the prefilter can locate grid-line conflicts in
+//! logarithmic time.
+
+use cardir_geometry::{BoundingBox, Region, Segment};
+use cardir_index::RTree;
+
+/// Immutable per-region derived data shared by every stage of a batch
+/// computation. Borrows the regions; build it once per map.
+#[derive(Debug)]
+pub struct RegionCache<'a> {
+    regions: Vec<&'a Region>,
+    mbbs: Vec<BoundingBox>,
+    edge_counts: Vec<usize>,
+    areas: Vec<f64>,
+    edges: Vec<Vec<Segment>>,
+    rtree: RTree<usize>,
+}
+
+impl<'a> RegionCache<'a> {
+    /// Builds the cache over any collection of region references
+    /// (a slice of regions, or e.g. an iterator over the geometry field
+    /// of annotated map entries).
+    pub fn build<I>(regions: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Region>,
+    {
+        let regions: Vec<&'a Region> = regions.into_iter().collect();
+        let mbbs: Vec<BoundingBox> = regions.iter().map(|r| r.mbb()).collect();
+        let edge_counts: Vec<usize> = regions.iter().map(|r| r.edge_count()).collect();
+        let areas: Vec<f64> = regions.iter().map(|r| r.area()).collect();
+        let edges: Vec<Vec<Segment>> = regions.iter().map(|r| r.edges().collect()).collect();
+        let mut rtree = RTree::new();
+        for (i, mbb) in mbbs.iter().enumerate() {
+            rtree.insert(*mbb, i);
+        }
+        RegionCache { regions, mbbs, edge_counts, areas, edges, rtree }
+    }
+
+    /// Number of cached regions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` when the cache holds no regions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The region at `i`.
+    #[inline]
+    pub fn region(&self, i: usize) -> &'a Region {
+        self.regions[i]
+    }
+
+    /// The cached `mbb(·)` of region `i` — bit-identical to
+    /// `self.region(i).mbb()`.
+    #[inline]
+    pub fn mbb(&self, i: usize) -> BoundingBox {
+        self.mbbs[i]
+    }
+
+    /// The cached edge count of region `i` (the paper's `k`).
+    #[inline]
+    pub fn edge_count(&self, i: usize) -> usize {
+        self.edge_counts[i]
+    }
+
+    /// The cached area of region `i`.
+    #[inline]
+    pub fn area(&self, i: usize) -> f64 {
+        self.areas[i]
+    }
+
+    /// The flattened edge list of region `i`, in the canonical
+    /// polygon-major order of [`Region::edges`].
+    #[inline]
+    pub fn edges(&self, i: usize) -> &[Segment] {
+        &self.edges[i]
+    }
+
+    /// Sum of all cached edge counts — the total geometric workload of an
+    /// all-pairs exact pass is proportional to `(n − 1) · total_edges`.
+    pub fn total_edges(&self) -> usize {
+        self.edge_counts.iter().sum()
+    }
+
+    /// The R-tree over the cached MBBs; payloads are region indices.
+    #[inline]
+    pub fn rtree(&self) -> &RTree<usize> {
+        &self.rtree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardir_geometry::Region;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]).unwrap()
+    }
+
+    #[test]
+    fn cache_mirrors_region_accessors() {
+        let regions = vec![rect(0.0, 0.0, 4.0, 4.0), rect(6.0, 1.0, 9.0, 2.0)];
+        let cache = RegionCache::build(&regions);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(cache.mbb(i), r.mbb());
+            assert_eq!(cache.edge_count(i), r.edge_count());
+            assert_eq!(cache.area(i), r.area());
+            assert_eq!(cache.edges(i).len(), r.edge_count());
+        }
+        assert_eq!(cache.total_edges(), 8);
+        assert_eq!(cache.rtree().len(), 2);
+    }
+
+    #[test]
+    fn rtree_payloads_are_indices() {
+        let regions = vec![rect(0.0, 0.0, 1.0, 1.0), rect(10.0, 10.0, 11.0, 11.0)];
+        let cache = RegionCache::build(&regions);
+        let hits = cache.rtree().search(regions[1].mbb());
+        assert_eq!(hits, vec![&1]);
+    }
+
+    #[test]
+    fn empty_cache() {
+        let cache = RegionCache::build(std::iter::empty());
+        assert!(cache.is_empty());
+        assert_eq!(cache.total_edges(), 0);
+    }
+}

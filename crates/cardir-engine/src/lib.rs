@@ -1,0 +1,29 @@
+//! Batch pairwise cardinal-direction engine.
+//!
+//! The paper's `Compute-CDR` / `Compute-CDR%` algorithms answer one
+//! ordered pair at a time. Real workloads — materialising every relation
+//! of a map, evaluating a query over many candidate pairs — repeat the
+//! per-region work (`mbb(b)`, edge scans) thousands of times. This crate
+//! batches that work in three layers:
+//!
+//! 1. [`RegionCache`] — per-region derived data (MBB, edge count, area,
+//!    flattened edges) computed once, plus an R-tree over the MBBs.
+//! 2. [MBB prefilter](prefilter) — pairs whose primary box lies strictly
+//!    inside one tile of the reference grid are decided with zero edge
+//!    work; the survivors are found by four R-tree line searches per
+//!    reference.
+//! 3. [`BatchEngine`] — the remaining exact computations fan out across
+//!    scoped worker threads over a chunked work queue, and the finished
+//!    chunks reassemble in input order, so results are bit-identical to
+//!    the naive per-pair loop at any thread count.
+//!
+//! Everything is standard library only: the thread pool is
+//! `std::thread::scope`, the queue an `AtomicUsize`.
+
+pub mod batch;
+pub mod cache;
+pub mod prefilter;
+
+pub use batch::{BatchEngine, BatchResult, BatchStats, EngineMode, PairRelation};
+pub use cache::RegionCache;
+pub use prefilter::{decided_tile, exact_mask, ExactMask};

@@ -1,0 +1,211 @@
+//! MBB prefiltering: deciding a pair's relation from bounding boxes
+//! alone.
+//!
+//! The nine tiles of a reference region are carved out of the plane by
+//! the four grid lines of `mbb(b)`. When `mbb(a)` intersects none of
+//! those lines it lies strictly inside one *open* tile, so every point of
+//! `a` — and every divided sub-edge — falls in that single tile. The
+//! pair's qualitative relation is then the single-tile relation, with no
+//! edge work at all.
+//!
+//! Strictness is what makes the short-circuit exact: a box that merely
+//! *touches* a grid line may classify its boundary edges either way
+//! depending on which side the interior lies, so touching pairs always
+//! take the exact path. `BoundingBox::intersects` is closed, giving the
+//! conservative behaviour for free.
+//!
+//! Per reference region the set of primaries that *do* need the exact
+//! path is found with four R-tree searches — one degenerate query box per
+//! grid line, extended to infinity along the line — in
+//! `O(log n + hits)` each instead of a linear scan.
+
+use crate::cache::RegionCache;
+use cardir_core::Tile;
+use cardir_geometry::{Band, BoundingBox, Point};
+
+/// The strict band of `[a_lo, a_hi]` relative to `[b_lo, b_hi]`:
+/// `Lower`/`Upper` when strictly outside, `Middle` when strictly inside
+/// the open interval, `None` when the intervals touch or straddle an
+/// endpoint.
+#[inline]
+fn strict_band(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> Option<Band> {
+    if a_hi < b_lo {
+        Some(Band::Lower)
+    } else if a_lo > b_hi {
+        Some(Band::Upper)
+    } else if a_lo > b_lo && a_hi < b_hi {
+        Some(Band::Middle)
+    } else {
+        None
+    }
+}
+
+/// Returns the single tile of `reference`'s grid that strictly contains
+/// `primary`, or `None` when the pair needs the exact edge-division pass.
+///
+/// `Some(t)` guarantees `compute_cdr(a, b)` is exactly the single-tile
+/// relation `t`, because no point of `a` lies on or beyond a grid line of
+/// `mbb(b)` bounding `t`.
+pub fn decided_tile(primary: BoundingBox, reference: BoundingBox) -> Option<Tile> {
+    let x = strict_band(primary.min.x, primary.max.x, reference.min.x, reference.max.x)?;
+    let y = strict_band(primary.min.y, primary.max.y, reference.min.y, reference.max.y)?;
+    Some(Tile::from_bands(x, y))
+}
+
+/// A bitmask over region indices: which primaries need the exact path
+/// against one particular reference.
+#[derive(Debug, Clone)]
+pub struct ExactMask {
+    bits: Vec<u64>,
+}
+
+impl ExactMask {
+    pub(crate) fn new(n: usize) -> Self {
+        ExactMask { bits: vec![0; n.div_ceil(64)] }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Does primary `i` need the exact path?
+    #[inline]
+    pub fn needs_exact(&self, i: usize) -> bool {
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of flagged primaries.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Computes the exact-path mask for reference region `j`: four R-tree
+/// searches along the grid lines of `mbb(j)` flag every primary whose
+/// MBB touches a line (including `j` itself, whose box touches all
+/// four).
+pub fn exact_mask(cache: &RegionCache<'_>, j: usize) -> ExactMask {
+    let mut mask = ExactMask::new(cache.len());
+    let mbb = cache.mbb(j);
+    let lines = [
+        // West and east lines, extended to infinity along y.
+        BoundingBox::new(
+            Point::new(mbb.min.x, f64::NEG_INFINITY),
+            Point::new(mbb.min.x, f64::INFINITY),
+        ),
+        BoundingBox::new(
+            Point::new(mbb.max.x, f64::NEG_INFINITY),
+            Point::new(mbb.max.x, f64::INFINITY),
+        ),
+        // South and north lines, extended to infinity along x.
+        BoundingBox::new(
+            Point::new(f64::NEG_INFINITY, mbb.min.y),
+            Point::new(f64::INFINITY, mbb.min.y),
+        ),
+        BoundingBox::new(
+            Point::new(f64::NEG_INFINITY, mbb.max.y),
+            Point::new(f64::INFINITY, mbb.max.y),
+        ),
+    ];
+    for line in lines {
+        cache.rtree().visit(line, &mut |&i| mask.set(i));
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardir_geometry::Region;
+
+    fn bb(x0: f64, y0: f64, x1: f64, y1: f64) -> BoundingBox {
+        BoundingBox::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]).unwrap()
+    }
+
+    #[test]
+    fn all_nine_strict_placements_are_decided() {
+        let reference = bb(0.0, 0.0, 4.0, 4.0);
+        let cases = [
+            (bb(1.0, 1.0, 3.0, 3.0), Tile::B),
+            (bb(1.0, -3.0, 3.0, -1.0), Tile::S),
+            (bb(-3.0, -3.0, -1.0, -1.0), Tile::SW),
+            (bb(-3.0, 1.0, -1.0, 3.0), Tile::W),
+            (bb(-3.0, 5.0, -1.0, 7.0), Tile::NW),
+            (bb(1.0, 5.0, 3.0, 7.0), Tile::N),
+            (bb(5.0, 5.0, 7.0, 7.0), Tile::NE),
+            (bb(5.0, 1.0, 7.0, 3.0), Tile::E),
+            (bb(5.0, -3.0, 7.0, -1.0), Tile::SE),
+        ];
+        for (primary, tile) in cases {
+            assert_eq!(decided_tile(primary, reference), Some(tile), "{tile}");
+        }
+    }
+
+    #[test]
+    fn touching_or_straddling_boxes_are_undecided() {
+        let reference = bb(0.0, 0.0, 4.0, 4.0);
+        // Touching the south line from below.
+        assert_eq!(decided_tile(bb(1.0, -2.0, 3.0, 0.0), reference), None);
+        // Exactly filling a tile (touches all four lines).
+        assert_eq!(decided_tile(bb(0.0, 0.0, 4.0, 4.0), reference), None);
+        // Straddling the east line.
+        assert_eq!(decided_tile(bb(3.0, 1.0, 5.0, 3.0), reference), None);
+        // Corner straddle.
+        assert_eq!(decided_tile(bb(3.0, 3.0, 5.0, 5.0), reference), None);
+        // Sharing only a corner point.
+        assert_eq!(decided_tile(bb(4.0, 4.0, 6.0, 6.0), reference), None);
+    }
+
+    #[test]
+    fn decided_matches_strict_interior_for_prefilter_soundness() {
+        // decided_tile(a, b) is Some iff a avoids all four full grid
+        // lines of b — the exact condition the R-tree queries test.
+        let reference = bb(0.0, 0.0, 4.0, 4.0);
+        // Far north but horizontally straddling the west line: undecided
+        // (NW/N ambiguous from boxes alone... and edges may cross lines).
+        assert_eq!(decided_tile(bb(-1.0, 6.0, 1.0, 8.0), reference), None);
+    }
+
+    #[test]
+    fn exact_mask_flags_line_touchers_only() {
+        let regions = vec![
+            rect(0.0, 0.0, 4.0, 4.0),  // 0: the reference itself
+            rect(1.0, 5.0, 3.0, 7.0),  // 1: strictly N — not flagged
+            rect(3.0, 3.0, 5.0, 5.0),  // 2: straddles NE corner — flagged
+            rect(-3.0, 0.0, -1.0, 2.0), // 3: touches the south line's level — flagged
+            rect(9.0, 9.0, 11.0, 11.0), // 4: strictly NE — not flagged
+        ];
+        let cache = RegionCache::build(&regions);
+        let mask = exact_mask(&cache, 0);
+        assert!(mask.needs_exact(0), "a region always conflicts with itself");
+        assert!(!mask.needs_exact(1));
+        assert!(mask.needs_exact(2));
+        assert!(mask.needs_exact(3));
+        assert!(!mask.needs_exact(4));
+        assert_eq!(mask.count(), 3);
+    }
+
+    #[test]
+    fn mask_agrees_with_decided_tile_on_a_generated_map() {
+        let mut rng = cardir_workloads::SplitMix64::seed_from_u64(2004);
+        let extent = bb(0.0, 0.0, 300.0, 200.0);
+        let map = cardir_workloads::random_map(&mut rng, 40, extent);
+        let regions: Vec<Region> = map.into_iter().map(|m| m.region).collect();
+        let cache = RegionCache::build(&regions);
+        for j in 0..cache.len() {
+            let mask = exact_mask(&cache, j);
+            for i in 0..cache.len() {
+                let decided = decided_tile(cache.mbb(i), cache.mbb(j)).is_some();
+                assert_eq!(
+                    mask.needs_exact(i),
+                    !decided,
+                    "primary {i} vs reference {j}"
+                );
+            }
+        }
+    }
+}

@@ -343,9 +343,8 @@ mod tests {
 
     #[test]
     fn randomised_against_linear_scan() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(17);
+        use cardir_workloads::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(17);
         let mut t = RTree::new();
         let mut reference: Vec<(BoundingBox, usize)> = Vec::new();
         for i in 0..500 {

@@ -6,15 +6,15 @@
 //! pass would.
 
 use crate::raster::Raster;
-use rand::Rng;
+use cardir_workloads::SplitMix64;
 
 /// Generates a `width × height` raster with `n_labels` blobs, each grown
 /// for `growth` accretion steps from a random seed cell. Later labels
 /// never overwrite earlier ones, so every label keeps one connected
 /// component (or stays absent if its seed landed on an existing blob and
 /// no free neighbour was available).
-pub fn random_blobs<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn random_blobs(
+    rng: &mut SplitMix64,
     width: usize,
     height: usize,
     n_labels: u32,
@@ -72,12 +72,10 @@ pub fn random_blobs<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::components::Connectivity;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn blobs_are_connected_and_disjoint() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         let raster = random_blobs(&mut rng, 40, 30, 6, 50);
         for label in raster.labels() {
             // Each label's cells form exactly one 4-connected component.
@@ -94,7 +92,7 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let mk = || {
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = SplitMix64::seed_from_u64(7);
             random_blobs(&mut rng, 20, 20, 4, 30)
         };
         assert_eq!(mk(), mk());
@@ -102,7 +100,7 @@ mod tests {
 
     #[test]
     fn extraction_round_trip() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         let raster = random_blobs(&mut rng, 30, 30, 5, 60);
         for label in raster.labels() {
             let region = raster.extract_region(label).unwrap();

@@ -258,9 +258,7 @@ mod tests {
 
     #[test]
     fn traced_uses_fewer_vertices_on_blobby_shapes() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(33);
+        let mut rng = cardir_workloads::SplitMix64::seed_from_u64(33);
         let raster = crate::random_blobs(&mut rng, 30, 30, 3, 80);
         for label in raster.labels() {
             let traced = raster.extract_region_traced(label).unwrap();

@@ -10,19 +10,24 @@
 //!   holes, overlapping primary/reference pairs;
 //! * [`maps`] — synthetic annotated maps for query-evaluation workloads;
 //! * [`greece`] — the reconstructed Fig. 11 Ancient-Greece scenario;
-//! * [`sweep`] — the parameter grids of the scaling experiments.
+//! * [`sweep`] — the parameter grids of the scaling experiments;
+//! * [`rng`] — the vendored [`SplitMix64`] generator every random
+//!   workload is driven by.
 //!
-//! All generators take an explicit `rand::Rng`, so every workload is
-//! reproducible from a seed.
+//! All generators take an explicit `&mut SplitMix64`, so every workload
+//! is reproducible from a seed — and the workspace builds fully offline,
+//! with no external crates.
 
 pub mod greece;
 pub mod maps;
 pub mod paper;
 pub mod polygons;
 pub mod regions;
+pub mod rng;
 pub mod sweep;
 
 pub use greece::{scenario as greece_scenario, Alliance, GreeceRegion};
 pub use maps::{random_map, MapRegion};
 pub use polygons::{comb_polygon, star_polygon};
 pub use regions::{archipelago, frame, overlapping_pair, RegionSpec};
+pub use rng::{RandomRange, SplitMix64};

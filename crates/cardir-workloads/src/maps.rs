@@ -7,8 +7,8 @@
 //! query-evaluation and R-tree ablation benchmarks.
 
 use crate::polygons::star_polygon;
+use crate::rng::SplitMix64;
 use cardir_geometry::{BoundingBox, Point, Region};
-use rand::Rng;
 
 /// One annotated region of a synthetic map.
 #[derive(Debug, Clone)]
@@ -27,7 +27,7 @@ pub const COLORS: [&str; 5] = ["blue", "red", "black", "green", "yellow"];
 /// Generates a map of `n` star-shaped regions with random colours inside
 /// `extent`. Regions are laid out on a jittered grid so they rarely
 /// overlap, like annotated areas on a real map.
-pub fn random_map<R: Rng + ?Sized>(rng: &mut R, n: usize, extent: BoundingBox) -> Vec<MapRegion> {
+pub fn random_map(rng: &mut SplitMix64, n: usize, extent: BoundingBox) -> Vec<MapRegion> {
     assert!(n >= 1);
     let cols = (n as f64).sqrt().ceil() as usize;
     let rows = n.div_ceil(cols);
@@ -47,7 +47,7 @@ pub fn random_map<R: Rng + ?Sized>(rng: &mut R, n: usize, extent: BoundingBox) -
                 extent.min.x + (col + 0.5) * pitch_x + jx,
                 extent.min.y + (row + 0.5) * pitch_y + jy,
             );
-            let vertices = rng.random_range(6..=14);
+            let vertices = rng.random_range(6..=14usize);
             let color = COLORS[rng.random_range(0..COLORS.len())];
             MapRegion {
                 id: format!("r{i}"),
@@ -61,8 +61,6 @@ pub fn random_map<R: Rng + ?Sized>(rng: &mut R, n: usize, extent: BoundingBox) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn extent() -> BoundingBox {
         BoundingBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0))
@@ -70,7 +68,7 @@ mod tests {
 
     #[test]
     fn map_has_n_unique_regions_inside_extent() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::seed_from_u64(9);
         let map = random_map(&mut rng, 40, extent());
         assert_eq!(map.len(), 40);
         let mut ids: Vec<_> = map.iter().map(|r| r.id.clone()).collect();
@@ -85,7 +83,7 @@ mod tests {
 
     #[test]
     fn single_region_map() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let map = random_map(&mut rng, 1, extent());
         assert_eq!(map.len(), 1);
         assert_eq!(map[0].id, "r0");

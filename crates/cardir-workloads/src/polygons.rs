@@ -12,16 +12,16 @@
 //!   whose edges cross a horizontal line `2·teeth` times, maximising edge
 //!   divisions and clipped fragments.
 
+use crate::rng::SplitMix64;
 use cardir_geometry::{Point, Polygon};
-use rand::Rng;
 
 /// Generates a simple polygon with `n ≥ 3` vertices, star-shaped around
 /// `center`, with radii drawn uniformly from `[r_min, r_max]`.
 ///
 /// Vertices are placed at evenly spaced angles with ±40 % jitter, keeping
 /// the angular order strictly increasing — which guarantees simplicity.
-pub fn star_polygon<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn star_polygon(
+    rng: &mut SplitMix64,
     center: Point,
     r_min: f64,
     r_max: f64,
@@ -68,12 +68,10 @@ pub fn comb_polygon(x0: f64, y_base: f64, y_tip: f64, pitch: f64, teeth: usize) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn star_polygons_are_simple_with_exact_edge_count() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         for n in [3, 8, 64, 257] {
             let p = star_polygon(&mut rng, Point::new(1.0, -2.0), 2.0, 5.0, n);
             assert_eq!(p.len(), n);
@@ -84,7 +82,7 @@ mod tests {
 
     #[test]
     fn star_polygon_respects_radius_bounds() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         let c = Point::new(0.0, 0.0);
         let p = star_polygon(&mut rng, c, 3.0, 4.0, 32);
         for v in p.vertices() {
@@ -106,7 +104,7 @@ mod tests {
     #[test]
     fn determinism_under_seed() {
         let mk = || {
-            let mut rng = StdRng::seed_from_u64(42);
+            let mut rng = SplitMix64::seed_from_u64(42);
             star_polygon(&mut rng, Point::new(0.0, 0.0), 1.0, 2.0, 16)
         };
         assert_eq!(mk(), mk());

@@ -6,8 +6,8 @@
 //! polygon and edge counts, for property tests and benchmarks.
 
 use crate::polygons::star_polygon;
+use crate::rng::SplitMix64;
 use cardir_geometry::{Point, Polygon, Region};
-use rand::Rng;
 
 /// Shape of a generated composite region.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +36,7 @@ impl Default for RegionSpec {
 /// Generates a composite region: `spec.polygons` star polygons laid out on
 /// a grid around `spec.center`, far enough apart that interiors stay
 /// disjoint (the `REG*` representation invariant).
-pub fn archipelago<R: Rng + ?Sized>(rng: &mut R, spec: RegionSpec) -> Region {
+pub fn archipelago(rng: &mut SplitMix64, spec: RegionSpec) -> Region {
     assert!(spec.polygons >= 1);
     let cols = (spec.polygons as f64).sqrt().ceil() as usize;
     let r_max = spec.spread * 0.45; // < spread/2 keeps neighbours disjoint
@@ -78,7 +78,7 @@ pub fn frame(center: Point, outer: f64, inner: f64) -> Region {
 /// `edges` is the *total* edge budget for the primary region; the
 /// reference region is a star polygon of 16 edges. Returns
 /// `(primary, reference)`.
-pub fn overlapping_pair<R: Rng + ?Sized>(rng: &mut R, edges: usize) -> (Region, Region) {
+pub fn overlapping_pair(rng: &mut SplitMix64, edges: usize) -> (Region, Region) {
     let reference = Region::single(star_polygon(rng, Point::ORIGIN, 4.0, 8.0, 16));
     // Place the primary near the reference so its edges straddle the grid
     // lines of mbb(reference).
@@ -91,12 +91,10 @@ pub fn overlapping_pair<R: Rng + ?Sized>(rng: &mut R, edges: usize) -> (Region, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn archipelago_counts() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let spec = RegionSpec { polygons: 5, vertices_per_polygon: 12, ..RegionSpec::default() };
         let r = archipelago(&mut rng, spec);
         assert_eq!(r.polygon_count(), 5);
@@ -108,7 +106,7 @@ mod tests {
 
     #[test]
     fn archipelago_islands_are_disjoint() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::seed_from_u64(4);
         let spec = RegionSpec { polygons: 9, vertices_per_polygon: 10, ..RegionSpec::default() };
         let r = archipelago(&mut rng, spec);
         let boxes: Vec<_> = r.polygons().iter().map(|p| p.bounding_box()).collect();
@@ -135,7 +133,7 @@ mod tests {
 
     #[test]
     fn overlapping_pair_has_requested_edges() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let (a, b) = overlapping_pair(&mut rng, 128);
         assert_eq!(a.edge_count(), 128);
         assert_eq!(b.edge_count(), 16);

@@ -1,0 +1,225 @@
+//! A vendored, dependency-free deterministic PRNG.
+//!
+//! The workspace builds with **no external crates** (the build
+//! environment has no registry access), so instead of `rand` every
+//! generator uses [`SplitMix64`] — the 64-bit mixing generator of Steele,
+//! Lea & Flood, *Fast Splittable Pseudorandom Number Generators*
+//! (OOPSLA 2014). It is tiny (one `u64` of state), statistically solid
+//! for workload generation, and trivially seeded, which keeps every
+//! workload reproducible from a single `u64`.
+//!
+//! The API mirrors the subset of `rand::Rng` the repository used:
+//! [`SplitMix64::random_range`] over float and integer ranges, plus
+//! `next_u64` / `next_f64` / `random_bool` primitives.
+//!
+//! ```
+//! use cardir_workloads::SplitMix64;
+//!
+//! let mut rng = SplitMix64::seed_from_u64(7);
+//! let x = rng.random_range(-1.0..1.0);
+//! assert!((-1.0..1.0).contains(&x));
+//! let n = rng.random_range(3usize..10);
+//! assert!((3..10).contains(&n));
+//! // Determinism: the same seed replays the same stream.
+//! assert_eq!(
+//!     SplitMix64::seed_from_u64(7).next_u64(),
+//!     SplitMix64::seed_from_u64(7).next_u64(),
+//! );
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic 64-bit PRNG (SplitMix64), the workspace's only
+/// randomness source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Weyl-sequence increment (the golden-ratio constant of SplitMix64).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Named after the `rand`
+    /// method it replaces so ported call sites read identically.
+    #[inline]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (mirroring
+    /// `rand::Rng::random_bool`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// A uniform sample from a float or integer range, e.g.
+    /// `rng.random_range(-6.0..6.0)` or `rng.random_range(0..len)`.
+    ///
+    /// Integer sampling uses a modulo reduction: the bias is below
+    /// 2⁻⁴⁰ for every span this workspace uses (< 2²⁴), which is
+    /// irrelevant for workload generation.
+    #[inline]
+    pub fn random_range<R: RandomRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Range types [`SplitMix64::random_range`] can sample from.
+pub trait RandomRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+impl RandomRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl RandomRange for RangeInclusive<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl RandomRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl RandomRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_splitmix64_vectors() {
+        // Reference outputs for seed 1234567 from the canonical C
+        // implementation (Vigna, prng.di.unimi.it/splitmix64.c).
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn determinism_and_divergence() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let y = rng.random_range(2.0..=2.5);
+            assert!((2.0..=2.5).contains(&y));
+        }
+        // Degenerate inclusive range is allowed and returns its endpoint.
+        assert_eq!(rng.random_range(7.0..=7.0), 7.0);
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(10);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 7 values should appear");
+        for _ in 0..100 {
+            let v = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        assert_eq!(rng.random_range(4u16..=4), 4);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        // Mean of U(0,1) over 10k draws: comfortably inside (0.45, 0.55).
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn bools_are_balanced() {
+        let mut rng = SplitMix64::seed_from_u64(12);
+        let trues = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&trues), "{trues} trues");
+        let rare = (0..10_000).filter(|_| rng.random_bool(0.1)).count();
+        assert!((700..1_300).contains(&rare), "{rare} rare trues");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -8,12 +8,11 @@
 use cardir::cardirect::{evaluate, evaluate_indexed, parse_query, Configuration, RegionIndex};
 use cardir::geometry::{BoundingBox, Point};
 use cardir::workloads::maps::random_map;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cardir::workloads::SplitMix64;
 use std::time::Instant;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2004);
+    let mut rng = SplitMix64::seed_from_u64(2004);
     let extent = BoundingBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 800.0));
     let map = random_map(&mut rng, 256, extent);
 

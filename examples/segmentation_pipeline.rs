@@ -13,12 +13,11 @@
 
 use cardir::cardirect::{evaluate, parse_query, to_xml, Configuration};
 use cardir::segment::{random_blobs, Connectivity};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cardir::workloads::SplitMix64;
 
 fn main() {
     // 1. "Segment" an image: 64×40 cells, 8 labelled areas.
-    let mut rng = StdRng::seed_from_u64(329); // first page of the paper
+    let mut rng = SplitMix64::seed_from_u64(329); // first page of the paper
     let raster = random_blobs(&mut rng, 64, 40, 8, 120);
     println!("segmented image ({}×{} cells):", raster.width(), raster.height());
     println!("{raster}\n");

@@ -18,6 +18,8 @@
 //! * [`cardirect`] — configurations, XML persistence, the query language
 //!   ([`cardir_cardirect`]);
 //! * [`index`] — the R-tree used for query pruning ([`cardir_index`]);
+//! * [`engine`] — the batch pairwise engine: region caching, MBB
+//!   prefiltering, multi-threaded exact passes ([`cardir_engine`]);
 //! * [`workloads`] — paper shapes, random generators, the Ancient-Greece
 //!   scenario ([`cardir_workloads`]);
 //! * [`segment`] — the raster-segmentation substrate of the usage
@@ -43,6 +45,7 @@
 
 pub use cardir_cardirect as cardirect;
 pub use cardir_core as core;
+pub use cardir_engine as engine;
 pub use cardir_extensions as extensions;
 pub use cardir_geometry as geometry;
 pub use cardir_index as index;

@@ -1,126 +1,151 @@
-//! Property-based cross-validation of the paper's algorithms (DESIGN.md
-//! §7): on thousands of random regions, `Compute-CDR` / `Compute-CDR%`
+//! Cross-validation of the paper's algorithms (DESIGN.md §7): on
+//! hundreds of seeded random regions, `Compute-CDR` / `Compute-CDR%`
 //! must agree with the clipping baseline, and the percentage matrices
-//! must satisfy their invariants.
+//! must satisfy their invariants. All cases derive from a fixed
+//! [`SplitMix64`] stream, so failures reproduce exactly.
 
 use cardir::core::{clipping_cdr, compute_cdr, tile_areas, ALL_TILES};
 use cardir::geometry::{Point, Region};
-use cardir::workloads::{comb_polygon, star_polygon};
-use proptest::prelude::*;
+use cardir::workloads::{comb_polygon, star_polygon, SplitMix64};
 
-/// Strategy: a star polygon with 3–40 vertices anywhere near the origin.
-fn arb_star() -> impl Strategy<Value = Region> {
-    (
-        3usize..40,
-        -10.0f64..10.0,
-        -10.0f64..10.0,
-        0.5f64..6.0,
-        0u64..u64::MAX,
-    )
-        .prop_map(|(n, cx, cy, r, seed)| {
-            use rand::rngs::StdRng;
-            use rand::SeedableRng;
-            let mut rng = StdRng::seed_from_u64(seed);
-            Region::single(star_polygon(&mut rng, Point::new(cx, cy), r * 0.4, r, n))
-        })
+/// A star polygon with 3–40 vertices anywhere near the origin.
+fn random_star(rng: &mut SplitMix64) -> Region {
+    let n = rng.random_range(3usize..40);
+    let cx = rng.random_range(-10.0..10.0);
+    let cy = rng.random_range(-10.0..10.0);
+    let r = rng.random_range(0.5..6.0);
+    Region::single(star_polygon(rng, Point::new(cx, cy), r * 0.4, r, n))
 }
 
-/// Strategy: a composite region of 1–4 stars spread out on a grid.
-fn arb_composite() -> impl Strategy<Value = Region> {
-    (1usize..=4, 4usize..16, 0u64..u64::MAX).prop_map(|(k, n, seed)| {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let polys = (0..k).map(|i| {
+/// A composite region of 1–4 stars spread out on a grid.
+fn random_composite(rng: &mut SplitMix64) -> Region {
+    let k = rng.random_range(1usize..=4);
+    let n = rng.random_range(4usize..16);
+    let polys = (0..k)
+        .map(|i| {
             let c = Point::new(i as f64 * 14.0 - 10.0, (i % 2) as f64 * 12.0 - 5.0);
-            star_polygon(&mut rng, c, 2.0, 5.0, n)
-        });
-        Region::new(polys.collect::<Vec<_>>()).unwrap()
-    })
+            star_polygon(rng, c, 2.0, 5.0, n)
+        })
+        .collect::<Vec<_>>();
+    Region::new(polys).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The qualitative relation from edge division equals the one from
-    /// clipping, for random simple primaries over random references.
-    #[test]
-    fn qualitative_agrees_with_clipping(a in arb_star(), b in arb_star()) {
+/// The qualitative relation from edge division equals the one from
+/// clipping, for random simple primaries over random references.
+#[test]
+fn qualitative_agrees_with_clipping() {
+    let mut rng = SplitMix64::seed_from_u64(101);
+    for case in 0..128 {
+        let a = random_star(&mut rng);
+        let b = random_star(&mut rng);
         let fast = compute_cdr(&a, &b);
         let baseline = clipping_cdr(&a, &b);
-        prop_assert_eq!(fast, baseline.relation, "a={} b={}", a, b);
+        assert_eq!(fast, baseline.relation, "case {case}: a={a} b={b}");
     }
+}
 
-    /// Same for composite (REG*) primaries.
-    #[test]
-    fn composite_qualitative_agrees_with_clipping(a in arb_composite(), b in arb_star()) {
+/// Same for composite (REG*) primaries.
+#[test]
+fn composite_qualitative_agrees_with_clipping() {
+    let mut rng = SplitMix64::seed_from_u64(102);
+    for case in 0..128 {
+        let a = random_composite(&mut rng);
+        let b = random_star(&mut rng);
         let fast = compute_cdr(&a, &b);
         let baseline = clipping_cdr(&a, &b);
-        prop_assert_eq!(fast, baseline.relation);
+        assert_eq!(fast, baseline.relation, "case {case}");
     }
+}
 
-    /// Per-tile areas agree with the clipping baseline within round-off.
-    #[test]
-    fn areas_agree_with_clipping(a in arb_composite(), b in arb_star()) {
+/// Per-tile areas agree with the clipping baseline within round-off.
+#[test]
+fn areas_agree_with_clipping() {
+    let mut rng = SplitMix64::seed_from_u64(103);
+    for case in 0..128 {
+        let a = random_composite(&mut rng);
+        let b = random_star(&mut rng);
         let fast = tile_areas(&a, &b);
         let baseline = clipping_cdr(&a, &b);
         let tol = 1e-9 * a.area().max(1.0);
         for t in ALL_TILES {
-            prop_assert!(
+            assert!(
                 (fast.get(t) - baseline.areas.get(t)).abs() < tol,
-                "tile {}: {} vs {}", t, fast.get(t), baseline.areas.get(t)
+                "case {case}, tile {t}: {} vs {}",
+                fast.get(t),
+                baseline.areas.get(t)
             );
         }
     }
+}
 
-    /// Tile areas are non-negative, sum to the primary's area, and their
-    /// positive support equals the qualitative relation (connecting
-    /// Theorems 1 and 2).
-    #[test]
-    fn percentage_invariants(a in arb_composite(), b in arb_star()) {
+/// Tile areas are non-negative, sum to the primary's area, and their
+/// positive support equals the qualitative relation (connecting
+/// Theorems 1 and 2).
+#[test]
+fn percentage_invariants() {
+    let mut rng = SplitMix64::seed_from_u64(104);
+    for case in 0..128 {
+        let a = random_composite(&mut rng);
+        let b = random_star(&mut rng);
         let areas = tile_areas(&a, &b);
         let mut total = 0.0;
         for t in ALL_TILES {
-            prop_assert!(areas.get(t) >= 0.0);
+            assert!(areas.get(t) >= 0.0, "case {case}, tile {t}");
             total += areas.get(t);
         }
-        prop_assert!((total - a.area()).abs() < 1e-9 * a.area().max(1.0));
+        assert!((total - a.area()).abs() < 1e-9 * a.area().max(1.0), "case {case}");
 
         let matrix = areas.percentages();
-        prop_assert!((matrix.sum() - 100.0).abs() < 1e-9);
+        assert!((matrix.sum() - 100.0).abs() < 1e-9, "case {case}");
 
         let from_areas = areas.relation(1e-9 * a.area().max(1.0)).unwrap();
         let qualitative = compute_cdr(&a, &b);
-        prop_assert_eq!(from_areas, qualitative);
+        assert_eq!(from_areas, qualitative, "case {case}");
     }
+}
 
-    /// Edge division introduces at most 4 extra edges per input edge
-    /// (one per grid line) and never loses edges.
-    #[test]
-    fn division_bounds(a in arb_star(), b in arb_star()) {
+/// Edge division introduces at most 4 extra edges per input edge (one
+/// per grid line) and never loses edges.
+#[test]
+fn division_bounds() {
+    let mut rng = SplitMix64::seed_from_u64(105);
+    for case in 0..128 {
+        let a = random_star(&mut rng);
+        let b = random_star(&mut rng);
         let (_, stats) = cardir::core::compute_cdr_with_stats(&a, &b);
-        prop_assert!(stats.output_edges >= stats.input_edges);
-        prop_assert!(stats.output_edges <= 5 * stats.input_edges);
+        assert!(stats.output_edges >= stats.input_edges, "case {case}");
+        assert!(stats.output_edges <= 5 * stats.input_edges, "case {case}");
     }
+}
 
-    /// Translating both regions together never changes the relation.
-    #[test]
-    fn translation_invariance(a in arb_star(), b in arb_star(),
-                              dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+/// Translating both regions together never changes the relation.
+#[test]
+fn translation_invariance() {
+    let mut rng = SplitMix64::seed_from_u64(106);
+    for case in 0..128 {
+        let a = random_star(&mut rng);
+        let b = random_star(&mut rng);
+        let dx = rng.random_range(-50.0..50.0);
+        let dy = rng.random_range(-50.0..50.0);
         let before = compute_cdr(&a, &b);
         let after = compute_cdr(&a.translated(dx, dy), &b.translated(dx, dy));
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}: dx={dx} dy={dy}");
     }
+}
 
-    /// The observed pair (a R1 b, b R2 a) is always predicted realizable
-    /// by the reasoning layer's exact pair table.
-    #[test]
-    fn observed_pairs_are_realizable(a in arb_composite(), b in arb_composite()) {
+/// The observed pair (a R1 b, b R2 a) is always predicted realizable by
+/// the reasoning layer's exact pair table.
+#[test]
+fn observed_pairs_are_realizable() {
+    let mut rng = SplitMix64::seed_from_u64(107);
+    for case in 0..128 {
+        let a = random_composite(&mut rng);
+        let b = random_composite(&mut rng);
         let r_ab = compute_cdr(&a, &b);
         let r_ba = compute_cdr(&b, &a);
-        prop_assert!(
+        assert!(
             cardir::reasoning::pair_realizable(r_ab, r_ba),
-            "pair ({}, {}) not in table", r_ab, r_ba
+            "case {case}: pair ({r_ab}, {r_ba}) not in table"
         );
     }
 }
