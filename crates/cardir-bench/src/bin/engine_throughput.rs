@@ -5,16 +5,38 @@
 //! boxes are disjoint and the prefilter decides the bulk of the ~10⁶
 //! ordered pairs; the exact passes measure how well the remaining edge
 //! work scales with threads.
+//!
+//! Usage: `engine_throughput [N] [--json PATH]`. The default output is
+//! the human report below; `--json` additionally writes one JSON-lines
+//! record per `(mode, threads)` cell (plus a `map` header line) through
+//! the `cardir-telemetry` sink, machine-readable for regression tracking.
 
 use cardir_bench::SEED;
 use cardir_engine::{BatchEngine, EngineMode, RegionCache};
 use cardir_geometry::{BoundingBox, Point, Region};
+use cardir_telemetry::{Json, JsonLines};
 use cardir_workloads::{random_map, SplitMix64};
 use std::hint::black_box;
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let mut n: usize = 1000;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--json requires a path");
+                std::process::exit(2);
+            }));
+        } else if let Ok(v) = arg.parse() {
+            n = v;
+        } else {
+            eprintln!("usage: engine_throughput [N] [--json PATH]");
+            std::process::exit(2);
+        }
+    }
+
     let mut rng = SplitMix64::seed_from_u64(SEED);
     let extent = BoundingBox::new(Point::new(0.0, 0.0), Point::new(4000.0, 3000.0));
     let regions: Vec<Region> = random_map(&mut rng, n, extent).into_iter().map(|m| m.region).collect();
@@ -28,6 +50,25 @@ fn main() {
         cache.total_edges(),
         build
     );
+
+    let mut sink = json_path.as_deref().map(|path| {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut sink = JsonLines::new(std::io::BufWriter::new(file));
+        sink.emit(
+            "map",
+            Json::obj([
+                ("regions", Json::from(cache.len())),
+                ("edges", Json::from(cache.total_edges())),
+                ("cache_build_ns", Json::from(build.as_nanos().min(u64::MAX as u128) as u64)),
+                ("seed", Json::from(SEED)),
+            ]),
+        )
+        .expect("write JSON line");
+        sink
+    });
 
     for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
         println!("\n== {mode:?} ==");
@@ -52,6 +93,40 @@ fn main() {
                 elapsed,
                 100.0 * result.stats.hit_rate(),
             );
+            if let Some(sink) = &mut sink {
+                let m = &result.metrics;
+                sink.emit(
+                    "engine_cell",
+                    Json::obj([
+                        ("mode", Json::from(format!("{mode:?}").to_lowercase().as_str())),
+                        ("threads", Json::from(threads)),
+                        ("pairs", Json::from(result.stats.pairs)),
+                        ("elapsed_ns", Json::from(elapsed.as_nanos().min(u64::MAX as u128) as u64)),
+                        ("pairs_per_sec", Json::from(pairs_per_sec)),
+                        ("speedup_vs_1", Json::from(speedup)),
+                        ("hit_rate", Json::from(result.stats.hit_rate())),
+                        ("prefilter_hits", Json::from(result.stats.prefilter_hits)),
+                        ("exact_pairs", Json::from(result.stats.exact_pairs)),
+                        ("edges_scanned", Json::from(result.stats.edges_scanned)),
+                        ("rtree_candidates", Json::from(result.stats.rtree_candidates)),
+                        (
+                            "mask_build_ns",
+                            Json::from(m.mask_build.as_nanos().min(u64::MAX as u128) as u64),
+                        ),
+                        (
+                            "exact_pass_ns",
+                            Json::from(m.exact_pass.as_nanos().min(u64::MAX as u128) as u64),
+                        ),
+                        ("worker_balance", Json::from(m.worker_balance())),
+                    ]),
+                )
+                .expect("write JSON line");
+            }
         }
+    }
+
+    if let Some(sink) = &mut sink {
+        sink.flush().expect("flush JSON sink");
+        println!("\nwrote {}", json_path.as_deref().unwrap_or_default());
     }
 }

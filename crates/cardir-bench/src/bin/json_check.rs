@@ -1,0 +1,46 @@
+//! Validates a telemetry JSON-lines file: every line must parse with the
+//! workspace's own hand-rolled parser, be an object, and carry a string
+//! `type` field; the file must contain at least one record. Used by the
+//! CI telemetry smoke so bench emission stays machine-readable without
+//! any external tooling.
+//!
+//! Usage: `json_check PATH` — exits 0 and prints a record tally on
+//! success, exits 1 with a diagnostic on the first malformed line.
+
+use cardir_telemetry::{parse_json, Json};
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: json_check PATH");
+        std::process::exit(2);
+    });
+    let content = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("json_check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+
+    let mut records = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).unwrap_or_else(|e| {
+            eprintln!("json_check: {path}:{}: {e}", lineno + 1);
+            std::process::exit(1);
+        });
+        if !matches!(value, Json::Obj(_)) {
+            eprintln!("json_check: {path}:{}: record is not an object", lineno + 1);
+            std::process::exit(1);
+        }
+        if value.get("type").and_then(Json::as_str).is_none() {
+            eprintln!("json_check: {path}:{}: record has no string \"type\" field", lineno + 1);
+            std::process::exit(1);
+        }
+        records += 1;
+    }
+    if records == 0 {
+        eprintln!("json_check: {path}: no records");
+        std::process::exit(1);
+    }
+    println!("{path}: {records} well-formed records");
+}

@@ -3,13 +3,37 @@
 //! as a flat column. The clipping baseline is included for reference.
 //!
 //! Run with: `cargo run --release -p cardir-bench --bin thm_scaling`
+//! Pass `--json PATH` to additionally write one JSON-lines record per
+//! sweep point (plus a summary line) for regression tracking.
 
 use cardir_bench::{calibrate_iters, scaling_pair, time_mean, SEED};
 use cardir_core::{clipping_cdr, compute_cdr, compute_cdr_pct};
+use cardir_telemetry::{Json, JsonLines};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn main() {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--json requires a path");
+                std::process::exit(2);
+            }));
+        } else {
+            eprintln!("usage: thm_scaling [--json PATH]");
+            std::process::exit(2);
+        }
+    }
+    let mut sink = json_path.as_deref().map(|path| {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        JsonLines::new(std::io::BufWriter::new(file))
+    });
+
     println!("E4/E5 — linear-time scaling (Theorems 1 and 2)\n");
     println!(
         "| {:>8} | {:>14} | {:>10} | {:>14} | {:>10} | {:>14} | {:>10} |",
@@ -64,6 +88,21 @@ fn main() {
             t_clip,
             per_edge(t_clip),
         );
+        if let Some(sink) = &mut sink {
+            sink.emit(
+                "scaling_point",
+                Json::obj([
+                    ("edges", Json::from(edges)),
+                    ("cdr_ns", Json::from(t_cdr.as_nanos().min(u64::MAX as u128) as u64)),
+                    ("cdr_ns_per_edge", Json::from(per_edge(t_cdr))),
+                    ("pct_ns", Json::from(t_pct.as_nanos().min(u64::MAX as u128) as u64)),
+                    ("pct_ns_per_edge", Json::from(per_edge(t_pct))),
+                    ("clipping_ns", Json::from(t_clip.as_nanos().min(u64::MAX as u128) as u64)),
+                    ("clipping_ns_per_edge", Json::from(per_edge(t_clip))),
+                ]),
+            )
+            .expect("write JSON line");
+        }
         if per_edge_first.is_none() {
             per_edge_first = Some(per_edge(t_cdr));
         }
@@ -78,4 +117,18 @@ fn main() {
         last,
         last / first
     );
+    if let Some(sink) = &mut sink {
+        sink.emit(
+            "scaling_summary",
+            Json::obj([
+                ("seed", Json::from(SEED)),
+                ("cdr_ns_per_edge_first", Json::from(first)),
+                ("cdr_ns_per_edge_last", Json::from(last)),
+                ("drift_ratio", Json::from(last / first)),
+            ]),
+        )
+        .expect("write JSON line");
+        sink.flush().expect("flush JSON sink");
+        println!("wrote {}", json_path.as_deref().unwrap_or_default());
+    }
 }

@@ -39,5 +39,8 @@ pub mod query;
 pub mod xml;
 
 pub use model::{AnnotatedRegion, ConfigError, Configuration, StoredRelation};
-pub use query::{evaluate, evaluate_indexed, parse_query, Binding, Query, RegionIndex};
+pub use query::{
+    evaluate, evaluate_indexed, evaluate_indexed_with_stats, evaluate_with_stats, parse_query,
+    Binding, EvalStats, Query, RegionIndex,
+};
 pub use xml::{from_xml, to_xml, XmlError};

@@ -7,7 +7,7 @@
 //! all stored in the XML description of the configuration."
 
 use cardir_core::{compute_cdr, compute_cdr_pct, CardinalRelation, PercentageMatrix};
-use cardir_engine::{BatchEngine, EngineMode, RegionCache};
+use cardir_engine::{BatchEngine, BatchStats, EngineMode, RegionCache};
 use cardir_geometry::Region;
 use std::collections::HashMap;
 use std::fmt;
@@ -227,14 +227,18 @@ impl Configuration {
     /// exact passes run on all available cores. The stored relations are
     /// bit-identical to the naive `compute_cdr` double loop, in the same
     /// primary-major order.
-    pub fn compute_all_relations(&mut self) {
-        self.compute_all_relations_with(&BatchEngine::new().with_mode(EngineMode::Qualitative));
+    ///
+    /// Returns the engine's run statistics (pairs computed, prefilter
+    /// hits, edge scans) so callers can report what the press of the
+    /// button cost.
+    pub fn compute_all_relations(&mut self) -> BatchStats {
+        self.compute_all_relations_with(&BatchEngine::new().with_mode(EngineMode::Qualitative))
     }
 
     /// [`Self::compute_all_relations`] with an explicitly configured
     /// engine (thread count control; the mode is forced to qualitative
     /// since only the relation is stored).
-    pub fn compute_all_relations_with(&mut self, engine: &BatchEngine) {
+    pub fn compute_all_relations_with(&mut self, engine: &BatchEngine) -> BatchStats {
         self.relations.clear();
         self.relation_map.clear();
         let cache = RegionCache::build(self.regions.iter().map(|r| &r.region));
@@ -249,6 +253,7 @@ impl Configuration {
             });
             self.relation_map.insert((pr.primary, pr.reference), pr.relation);
         }
+        result.stats
     }
 
     /// The stored relations (empty until [`Self::compute_all_relations`]
@@ -351,7 +356,9 @@ mod tests {
     #[test]
     fn compute_all_relations_covers_ordered_pairs() {
         let mut c = sample();
-        c.compute_all_relations();
+        let stats = c.compute_all_relations();
+        assert_eq!(stats.pairs, 2);
+        assert_eq!(stats.prefilter_hits + stats.exact_pairs, stats.pairs);
         assert_eq!(c.relations().len(), 2);
         assert_eq!(c.relation_between("s", "b").unwrap().to_string(), "S");
         let inverse = c.relation_between("b", "s").unwrap();

@@ -2,6 +2,7 @@
 //! relations in a single linear pass.
 
 use crate::divide::{classify_subedge, for_each_division, DivisionStats};
+use crate::hook::{MetricsHook, NoopHook};
 use crate::relation::CardinalRelation;
 use crate::tile::Tile;
 use cardir_geometry::{BoundingBox, Region};
@@ -40,7 +41,24 @@ pub fn compute_cdr_with_stats(a: &Region, b: &Region) -> (CardinalRelation, Divi
     cdr_over_mbb(a, b.mbb())
 }
 
+/// [`compute_cdr`] observed by a [`MetricsHook`]: the hook sees every
+/// edge scanned, every sub-edge emitted (with its tile), and every
+/// centre-test `B` detection. The result is bit-identical to
+/// [`compute_cdr`] for any hook — hooks only observe.
+pub fn compute_cdr_hooked<H: MetricsHook>(a: &Region, b: &Region, hook: &mut H) -> CardinalRelation {
+    cdr_over_mbb_hooked(a, b.mbb(), hook).0
+}
+
 fn cdr_over_mbb(a: &Region, mbb: BoundingBox) -> (CardinalRelation, DivisionStats) {
+    // NoopHook monomorphises to the plain un-instrumented loop.
+    cdr_over_mbb_hooked(a, mbb, &mut NoopHook)
+}
+
+fn cdr_over_mbb_hooked<H: MetricsHook>(
+    a: &Region,
+    mbb: BoundingBox,
+    hook: &mut H,
+) -> (CardinalRelation, DivisionStats) {
     let center = mbb.center();
     let mut bits = 0u16;
     let mut stats = DivisionStats::default();
@@ -48,16 +66,25 @@ fn cdr_over_mbb(a: &Region, mbb: BoundingBox) -> (CardinalRelation, DivisionStat
     for polygon in a.polygons() {
         for edge in polygon.edges() {
             stats.input_edges += 1;
+            hook.edge_scanned();
+            let before = stats.output_edges;
             for_each_division(edge, mbb, |sub| {
                 stats.output_edges += 1;
-                bits |= classify_subedge(sub, mbb).bit();
+                let tile = classify_subedge(sub, mbb);
+                bits |= tile.bit();
+                hook.sub_edge(tile);
             });
+            let parts = stats.output_edges - before;
+            if parts > 1 {
+                hook.edge_divided(parts);
+            }
         }
         // Fig. 5: "If the center of mbb(b) is in p then R = tile-union(R, B)".
         // Catches polygons that cover the whole central tile without any
         // edge inside it.
         if bits & Tile::B.bit() == 0 && polygon.contains(center) {
             bits |= Tile::B.bit();
+            hook.b_center_hit();
         }
     }
 

@@ -24,6 +24,7 @@
 //! observation.
 
 use crate::divide::{classify_subedge, for_each_division, DivisionStats};
+use crate::hook::{MetricsHook, NoopHook};
 use crate::matrix::{PercentageMatrix, TileAreas};
 use crate::tile::Tile;
 use cardir_geometry::area::{e_l, e_m};
@@ -50,7 +51,23 @@ pub fn tile_areas_with_stats(a: &Region, b: &Region) -> (TileAreas, DivisionStat
     areas_over_mbb(a, b.mbb())
 }
 
+/// [`tile_areas`] observed by a [`MetricsHook`]: the hook sees every
+/// edge scanned and every sub-edge emitted with its tile. The areas are
+/// bit-identical to [`tile_areas`] for any hook — hooks only observe.
+pub fn tile_areas_hooked<H: MetricsHook>(a: &Region, b: &Region, hook: &mut H) -> TileAreas {
+    areas_over_mbb_hooked(a, b.mbb(), hook).0
+}
+
 fn areas_over_mbb(a: &Region, mbb: BoundingBox) -> (TileAreas, DivisionStats) {
+    // NoopHook monomorphises to the plain un-instrumented loop.
+    areas_over_mbb_hooked(a, mbb, &mut NoopHook)
+}
+
+fn areas_over_mbb_hooked<H: MetricsHook>(
+    a: &Region,
+    mbb: BoundingBox,
+    hook: &mut H,
+) -> (TileAreas, DivisionStats) {
     let m1 = mbb.min.x;
     let m2 = mbb.max.x;
     let l1 = mbb.min.y;
@@ -65,9 +82,12 @@ fn areas_over_mbb(a: &Region, mbb: BoundingBox) -> (TileAreas, DivisionStats) {
     for polygon in a.polygons() {
         for edge in polygon.edges() {
             stats.input_edges += 1;
+            hook.edge_scanned();
+            let before = stats.output_edges;
             for_each_division(edge, mbb, |sub| {
                 stats.output_edges += 1;
                 let t = classify_subedge(sub, mbb);
+                hook.sub_edge(t);
                 match t {
                     Tile::NW | Tile::W | Tile::SW => acc[t.index()] += e_m(m1, sub),
                     Tile::NE | Tile::E | Tile::SE => acc[t.index()] += e_m(m2, sub),
@@ -79,6 +99,10 @@ fn areas_over_mbb(a: &Region, mbb: BoundingBox) -> (TileAreas, DivisionStats) {
                     acc_bn += e_l(l1, sub);
                 }
             });
+            let parts = stats.output_edges - before;
+            if parts > 1 {
+                hook.edge_divided(parts);
+            }
         }
     }
 

@@ -16,12 +16,15 @@
 //!    matter how many workers ran or how the scheduler interleaved them.
 
 use crate::cache::RegionCache;
+use crate::metrics::EngineMetrics;
 use crate::prefilter::{decided_tile, exact_mask, ExactMask};
 use cardir_core::{
     compute_cdr_with_mbb, tile_areas_with_mbb, CardinalRelation, PercentageMatrix, Tile, TileAreas,
 };
+use cardir_telemetry::{Histogram, DURATION_BOUNDS_NS};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// What the engine computes per pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +54,10 @@ pub struct PairRelation {
     pub via_prefilter: bool,
 }
 
-/// Aggregate statistics of one batch run.
+/// Aggregate statistics of one batch run — the always-on counter block.
+/// Collecting it costs a handful of adds per chunk, so there is no off
+/// switch; the optional timing layer lives in
+/// [`EngineMetrics`](crate::EngineMetrics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchStats {
     /// Ordered pairs computed.
@@ -60,6 +66,16 @@ pub struct BatchStats {
     pub prefilter_hits: usize,
     /// Worker threads used for the exact pass.
     pub threads: usize,
+    /// Pairs that took the exact edge-division path
+    /// (`pairs − prefilter_hits`; includes the quantitative N-tile
+    /// fallback, which recomputes areas exactly).
+    pub exact_pairs: usize,
+    /// Primary-region edges scanned across all exact computations — the
+    /// paper's `Σ k_a` cost term that the prefilter exists to avoid.
+    pub edges_scanned: usize,
+    /// R-tree line-search candidates visited while building the
+    /// per-reference exact masks (one visit per box/grid-line contact).
+    pub rtree_candidates: usize,
 }
 
 impl BatchStats {
@@ -80,8 +96,11 @@ pub struct BatchResult {
     /// [`BatchEngine::compute_all`]: primary-major, reference ascending,
     /// self-pairs skipped).
     pub pairs: Vec<PairRelation>,
-    /// Run statistics.
+    /// Run statistics (also embedded in `metrics.stats`).
     pub stats: BatchStats,
+    /// The full cost picture of this run: stage durations, per-worker
+    /// load, and (with detailed collection) chunk-duration histograms.
+    pub metrics: EngineMetrics,
 }
 
 /// The batch pairwise-relation engine.
@@ -112,6 +131,7 @@ pub struct BatchResult {
 pub struct BatchEngine {
     threads: usize,
     mode: EngineMode,
+    detailed_metrics: bool,
 }
 
 impl Default for BatchEngine {
@@ -126,10 +146,11 @@ impl Default for BatchEngine {
 const CHUNK: usize = 256;
 
 impl BatchEngine {
-    /// An engine using every available core and qualitative mode.
+    /// An engine using every available core, qualitative mode, and
+    /// detailed metrics off.
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        BatchEngine { threads, mode: EngineMode::Qualitative }
+        BatchEngine { threads, mode: EngineMode::Qualitative, detailed_metrics: false }
     }
 
     /// Sets the number of worker threads (clamped to at least 1). The
@@ -142,6 +163,16 @@ impl BatchEngine {
     /// Sets what to compute per pair.
     pub fn with_mode(mut self, mode: EngineMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Enables (or disables) detailed metrics collection: per-chunk
+    /// exact-pass duration histograms. The counter block in
+    /// [`BatchStats`] and the stage durations are always collected;
+    /// computed pairs are bit-identical either way — telemetry only
+    /// observes.
+    pub fn with_detailed_metrics(mut self, detailed: bool) -> Self {
+        self.detailed_metrics = detailed;
         self
     }
 
@@ -161,12 +192,20 @@ impl BatchEngine {
     pub fn compute_all(&self, cache: &RegionCache<'_>) -> BatchResult {
         let n = cache.len();
         if n < 2 {
+            let stats = BatchStats { threads: self.threads, ..BatchStats::default() };
             return BatchResult {
                 pairs: Vec::new(),
-                stats: BatchStats { pairs: 0, prefilter_hits: 0, threads: self.threads },
+                stats,
+                metrics: EngineMetrics {
+                    stats,
+                    cache_build: cache.build_time(),
+                    ..EngineMetrics::default()
+                },
             };
         }
+        let mask_start = Instant::now();
         let masks: Vec<ExactMask> = (0..n).map(|j| exact_mask(cache, j)).collect();
+        let mask_build = mask_start.elapsed();
         let total = n * (n - 1);
         // Pair k → (i, j): i = k / (n−1); j skips the diagonal.
         let pair_at = |k: usize| {
@@ -174,7 +213,7 @@ impl BatchEngine {
             let r = k % (n - 1);
             (i, r + usize::from(r >= i))
         };
-        self.run(cache, &masks, total, pair_at)
+        self.run(cache, &masks, total, pair_at, mask_build)
     }
 
     /// Computes an explicit list of ordered pairs (e.g. the candidates a
@@ -190,6 +229,7 @@ impl BatchEngine {
             "pair index out of bounds for a cache of {n} regions"
         );
         // Masks only for references that actually occur.
+        let mask_start = Instant::now();
         let mut masks: Vec<Option<ExactMask>> = vec![None; n];
         for &(_, j) in pairs {
             if masks[j].is_none() {
@@ -200,7 +240,8 @@ impl BatchEngine {
         // because no pair names them.
         let masks: Vec<ExactMask> =
             masks.into_iter().map(|m| m.unwrap_or_else(|| ExactMask::new(0))).collect();
-        self.run(cache, &masks, pairs.len(), |k| pairs[k])
+        let mask_build = mask_start.elapsed();
+        self.run(cache, &masks, pairs.len(), |k| pairs[k], mask_build)
     }
 
     /// The chunked parallel driver shared by both entry points.
@@ -210,6 +251,7 @@ impl BatchEngine {
         masks: &[ExactMask],
         total: usize,
         pair_at: F,
+        mask_build: Duration,
     ) -> BatchResult
     where
         F: Fn(usize) -> (usize, usize) + Sync,
@@ -217,54 +259,100 @@ impl BatchEngine {
         let n_chunks = total.div_ceil(CHUNK).max(1);
         let workers = self.threads.min(n_chunks);
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, Vec<PairRelation>, usize)>> =
+        let done: Mutex<Vec<(usize, Vec<PairRelation>, Tally)>> =
             Mutex::new(Vec::with_capacity(n_chunks));
+        let per_thread: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+        let chunk_hist =
+            self.detailed_metrics.then(|| Histogram::new_detached(&DURATION_BOUNDS_NS));
         let mode = self.mode;
 
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= n_chunks {
-                        break;
-                    }
-                    let start = c * CHUNK;
-                    let end = (start + CHUNK).min(total);
-                    let mut local = Vec::with_capacity(end - start);
-                    let mut hits = 0usize;
-                    for k in start..end {
-                        let (i, j) = pair_at(k);
-                        let pr = compute_pair(cache, &masks[j], i, j, mode);
-                        hits += usize::from(pr.via_prefilter);
-                        local.push(pr);
-                    }
-                    done.lock().expect("worker panicked holding the lock").push((c, local, hits));
-                });
-            }
-        });
+        let exact_start = Instant::now();
+        {
+            let next = &next;
+            let done = &done;
+            let per_thread = &per_thread[..];
+            let chunk_hist = chunk_hist.as_ref();
+            let pair_at = &pair_at;
+            std::thread::scope(|s| {
+                for my_pairs in per_thread {
+                    s.spawn(move || {
+                        let mut worker_pairs = 0usize;
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            let chunk_start = chunk_hist.map(|_| Instant::now());
+                            let start = c * CHUNK;
+                            let end = (start + CHUNK).min(total);
+                            let mut local = Vec::with_capacity(end - start);
+                            let mut tally = Tally::default();
+                            for k in start..end {
+                                let (i, j) = pair_at(k);
+                                local.push(compute_pair(cache, &masks[j], i, j, mode, &mut tally));
+                            }
+                            worker_pairs += end - start;
+                            if let (Some(h), Some(t0)) = (chunk_hist, chunk_start) {
+                                h.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                            }
+                            done.lock()
+                                .expect("worker panicked holding the lock")
+                                .push((c, local, tally));
+                        }
+                        my_pairs.store(worker_pairs, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        let exact_pass = exact_start.elapsed();
 
         let mut chunks = done.into_inner().expect("worker panicked holding the lock");
         chunks.sort_unstable_by_key(|&(c, _, _)| c);
         let mut pairs = Vec::with_capacity(total);
-        let mut prefilter_hits = 0usize;
-        for (_, local, hits) in chunks {
+        let mut totals = Tally::default();
+        for (_, local, tally) in chunks {
             pairs.extend(local);
-            prefilter_hits += hits;
+            totals.hits += tally.hits;
+            totals.edges_scanned += tally.edges_scanned;
         }
-        BatchResult {
-            pairs,
-            stats: BatchStats { pairs: total, prefilter_hits, threads: workers },
-        }
+        let stats = BatchStats {
+            pairs: total,
+            prefilter_hits: totals.hits,
+            threads: workers,
+            exact_pairs: total - totals.hits,
+            edges_scanned: totals.edges_scanned,
+            rtree_candidates: masks.iter().map(ExactMask::candidates).sum(),
+        };
+        let metrics = EngineMetrics {
+            stats,
+            cache_build: cache.build_time(),
+            mask_build,
+            exact_pass,
+            per_thread_pairs: per_thread.iter().map(|p| p.load(Ordering::Relaxed)).collect(),
+            chunk_durations_ns: chunk_hist.map(|h| h.snapshot()),
+        };
+        BatchResult { pairs, stats, metrics }
     }
 }
 
-/// Computes one ordered pair, taking the MBB short-circuit when sound.
+/// Per-chunk counter block carried back with each finished chunk.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    /// Pairs the prefilter fully decided.
+    hits: usize,
+    /// Primary edges scanned by exact computations.
+    edges_scanned: usize,
+}
+
+/// Computes one ordered pair, taking the MBB short-circuit when sound,
+/// and tallies prefilter hits and edge scans into `tally`.
 fn compute_pair(
     cache: &RegionCache<'_>,
     mask: &ExactMask,
     i: usize,
     j: usize,
     mode: EngineMode,
+    tally: &mut Tally,
 ) -> PairRelation {
     // The mask flags every box touching a grid line of mbb(j) — including
     // region j itself — so a clear bit proves the strict-tile decision.
@@ -274,13 +362,16 @@ fn compute_pair(
         let relation =
             CardinalRelation::from_bits(tile.bit()).expect("every single tile is a valid relation");
         match mode {
-            EngineMode::Qualitative => PairRelation {
-                primary: i,
-                reference: j,
-                relation,
-                percentages: None,
-                via_prefilter: true,
-            },
+            EngineMode::Qualitative => {
+                tally.hits += 1;
+                PairRelation {
+                    primary: i,
+                    reference: j,
+                    relation,
+                    percentages: None,
+                    via_prefilter: true,
+                }
+            }
             EngineMode::Quantitative => {
                 if tile != Tile::N {
                     // A primary strictly inside one tile puts 100 % there.
@@ -289,6 +380,7 @@ fn compute_pair(
                     // the same bits as the full accumulation.
                     let mut areas = TileAreas::default();
                     *areas.get_mut(tile) = 1.0;
+                    tally.hits += 1;
                     PairRelation {
                         primary: i,
                         reference: j,
@@ -302,6 +394,7 @@ fn compute_pair(
                     // can leave last-ulp residue in B. Take the exact path
                     // for the matrix to stay bit-identical; the relation
                     // is still the prefilter's.
+                    tally.edges_scanned += cache.edge_count(i);
                     let m = tile_areas_with_mbb(cache.region(i), cache.mbb(j)).percentages();
                     PairRelation {
                         primary: i,
@@ -315,10 +408,13 @@ fn compute_pair(
         }
     } else {
         let mbb = cache.mbb(j);
+        tally.edges_scanned += cache.edge_count(i);
         let relation = compute_cdr_with_mbb(cache.region(i), mbb);
         let percentages = match mode {
             EngineMode::Qualitative => None,
             EngineMode::Quantitative => {
+                // The area pass re-walks the primary's edge list.
+                tally.edges_scanned += cache.edge_count(i);
                 Some(tile_areas_with_mbb(cache.region(i), mbb).percentages())
             }
         };

@@ -11,6 +11,7 @@
 
 use cardir_geometry::{BoundingBox, Region, Segment};
 use cardir_index::RTree;
+use std::time::{Duration, Instant};
 
 /// Immutable per-region derived data shared by every stage of a batch
 /// computation. Borrows the regions; build it once per map.
@@ -22,6 +23,7 @@ pub struct RegionCache<'a> {
     areas: Vec<f64>,
     edges: Vec<Vec<Segment>>,
     rtree: RTree<usize>,
+    build_time: Duration,
 }
 
 impl<'a> RegionCache<'a> {
@@ -32,6 +34,7 @@ impl<'a> RegionCache<'a> {
     where
         I: IntoIterator<Item = &'a Region>,
     {
+        let start = Instant::now();
         let regions: Vec<&'a Region> = regions.into_iter().collect();
         let mbbs: Vec<BoundingBox> = regions.iter().map(|r| r.mbb()).collect();
         let edge_counts: Vec<usize> = regions.iter().map(|r| r.edge_count()).collect();
@@ -41,7 +44,15 @@ impl<'a> RegionCache<'a> {
         for (i, mbb) in mbbs.iter().enumerate() {
             rtree.insert(*mbb, i);
         }
-        RegionCache { regions, mbbs, edge_counts, areas, edges, rtree }
+        let build_time = start.elapsed();
+        RegionCache { regions, mbbs, edge_counts, areas, edges, rtree, build_time }
+    }
+
+    /// Wall time [`RegionCache::build`] took — per-map derived-data cost,
+    /// surfaced so batch telemetry can report it alongside pass times.
+    #[inline]
+    pub fn build_time(&self) -> Duration {
+        self.build_time
     }
 
     /// Number of cached regions.

@@ -19,11 +19,17 @@
 //!
 //! Everything is standard library only: the thread pool is
 //! `std::thread::scope`, the queue an `AtomicUsize`.
+//!
+//! Every run also reports its own cost: the always-on counter block
+//! [`BatchStats`] plus the stage-timing layer [`EngineMetrics`], which
+//! exports into a `cardir-telemetry` registry for rendering.
 
 pub mod batch;
 pub mod cache;
+pub mod metrics;
 pub mod prefilter;
 
 pub use batch::{BatchEngine, BatchResult, BatchStats, EngineMode, PairRelation};
 pub use cache::RegionCache;
+pub use metrics::EngineMetrics;
 pub use prefilter::{decided_tile, exact_mask, ExactMask};

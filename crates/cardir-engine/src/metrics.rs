@@ -1,0 +1,126 @@
+//! Rich per-run engine metrics, layered over [`BatchStats`].
+//!
+//! [`BatchStats`] stays the cheap always-on counter block; this module
+//! adds the run's *shape*: where wall time went (cache build, mask
+//! build, exact pass), how evenly the workers shared the pair load, and
+//! — when [`detailed`](crate::BatchEngine::with_detailed_metrics)
+//! collection is on — the per-chunk exact-pass duration distribution.
+//! [`EngineMetrics::export`] folds a run into a long-lived
+//! [`Registry`], which the sinks in `cardir-telemetry` then render as a
+//! human report or JSON lines.
+
+use crate::batch::BatchStats;
+use cardir_telemetry::{HistogramSnapshot, Registry, COUNT_BOUNDS, DURATION_BOUNDS_NS};
+use std::time::Duration;
+
+/// Everything one batch run can tell you about its own cost.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineMetrics {
+    /// The counter block (also available as `BatchResult::stats`).
+    pub stats: BatchStats,
+    /// Wall time of [`RegionCache::build`](crate::RegionCache::build)
+    /// for the cache this run used.
+    pub cache_build: Duration,
+    /// Wall time spent building the per-reference exact masks (four
+    /// R-tree line searches each).
+    pub mask_build: Duration,
+    /// Wall time of the threaded exact pass, chunk dispatch included.
+    pub exact_pass: Duration,
+    /// Pairs processed by each worker of the exact pass, indexed by
+    /// worker slot — the load-balance signal.
+    pub per_thread_pairs: Vec<usize>,
+    /// Distribution of per-chunk exact-pass durations in nanoseconds.
+    /// `None` unless the engine ran with
+    /// [`with_detailed_metrics(true)`](crate::BatchEngine::with_detailed_metrics).
+    pub chunk_durations_ns: Option<HistogramSnapshot>,
+}
+
+impl EngineMetrics {
+    /// Worker utilisation in `(0, 1]`: mean pairs per worker over the
+    /// busiest worker's pairs. `1.0` means a perfectly even split; `0.0`
+    /// when nothing ran.
+    pub fn worker_balance(&self) -> f64 {
+        let max = self.per_thread_pairs.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        let mean =
+            self.per_thread_pairs.iter().sum::<usize>() as f64 / self.per_thread_pairs.len() as f64;
+        mean / max as f64
+    }
+
+    /// Folds this run into `registry` under the `engine.` namespace:
+    /// counters `engine.{runs,pairs,prefilter_hits,exact_pairs,
+    /// edges_scanned,rtree_candidates}`, duration histograms
+    /// `engine.{cache_build,mask_build,exact_pass}_ns` (one sample per
+    /// run), the per-worker pair histogram `engine.thread_pairs`, and —
+    /// when collected — the merged `engine.chunk_ns` distribution.
+    pub fn export(&self, registry: &Registry) {
+        registry.counter("engine.runs").inc();
+        registry.counter("engine.pairs").add(self.stats.pairs as u64);
+        registry.counter("engine.prefilter_hits").add(self.stats.prefilter_hits as u64);
+        registry.counter("engine.exact_pairs").add(self.stats.exact_pairs as u64);
+        registry.counter("engine.edges_scanned").add(self.stats.edges_scanned as u64);
+        registry.counter("engine.rtree_candidates").add(self.stats.rtree_candidates as u64);
+        for (name, duration) in [
+            ("engine.cache_build_ns", self.cache_build),
+            ("engine.mask_build_ns", self.mask_build),
+            ("engine.exact_pass_ns", self.exact_pass),
+        ] {
+            registry
+                .histogram(name, &DURATION_BOUNDS_NS)
+                .record(duration.as_nanos().min(u64::MAX as u128) as u64);
+        }
+        let thread_pairs = registry.histogram("engine.thread_pairs", &COUNT_BOUNDS);
+        for &pairs in &self.per_thread_pairs {
+            thread_pairs.record(pairs as u64);
+        }
+        if let Some(chunks) = &self.chunk_durations_ns {
+            registry.histogram("engine.chunk_ns", &chunks.bounds).absorb(chunks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_balance_bounds() {
+        let mut m = EngineMetrics::default();
+        assert_eq!(m.worker_balance(), 0.0);
+        m.per_thread_pairs = vec![100, 100];
+        assert!((m.worker_balance() - 1.0).abs() < 1e-12);
+        m.per_thread_pairs = vec![300, 100];
+        assert!((m.worker_balance() - (200.0 / 300.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_writes_engine_namespace() {
+        let m = EngineMetrics {
+            stats: BatchStats {
+                pairs: 10,
+                prefilter_hits: 6,
+                threads: 2,
+                exact_pairs: 4,
+                edges_scanned: 64,
+                rtree_candidates: 12,
+            },
+            cache_build: Duration::from_micros(5),
+            mask_build: Duration::from_micros(3),
+            exact_pass: Duration::from_micros(40),
+            per_thread_pairs: vec![6, 4],
+            chunk_durations_ns: None,
+        };
+        let registry = Registry::new();
+        m.export(&registry);
+        m.export(&registry); // runs accumulate
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.runs"), Some(2));
+        assert_eq!(snap.counter("engine.pairs"), Some(20));
+        assert_eq!(snap.counter("engine.edges_scanned"), Some(128));
+        assert_eq!(snap.histogram("engine.exact_pass_ns").unwrap().count, 2);
+        assert_eq!(snap.histogram("engine.thread_pairs").unwrap().count, 4);
+        assert!(snap.histogram("engine.chunk_ns").is_none());
+    }
+}

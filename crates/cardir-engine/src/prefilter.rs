@@ -57,15 +57,26 @@ pub fn decided_tile(primary: BoundingBox, reference: BoundingBox) -> Option<Tile
 #[derive(Debug, Clone)]
 pub struct ExactMask {
     bits: Vec<u64>,
+    candidates: usize,
 }
 
 impl ExactMask {
     pub(crate) fn new(n: usize) -> Self {
-        ExactMask { bits: vec![0; n.div_ceil(64)] }
+        ExactMask { bits: vec![0; n.div_ceil(64)], candidates: 0 }
     }
 
     fn set(&mut self, i: usize) {
         self.bits[i / 64] |= 1 << (i % 64);
+        self.candidates += 1;
+    }
+
+    /// R-tree line-search candidates that built this mask: the number of
+    /// visit callbacks across the four grid-line queries, counting a box
+    /// once per line it touches. The prefilter's own cost signal — it
+    /// bounds the mask-building work for this reference.
+    #[inline]
+    pub fn candidates(&self) -> usize {
+        self.candidates
     }
 
     /// Does primary `i` need the exact path?
@@ -187,6 +198,10 @@ mod tests {
         assert!(mask.needs_exact(3));
         assert!(!mask.needs_exact(4));
         assert_eq!(mask.count(), 3);
+        // Candidates count one visit per (box, line) contact: the
+        // reference touches all four of its own lines, the corner
+        // straddler touches two, the south-level toucher one.
+        assert_eq!(mask.candidates(), 7);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Span timers: monotonic wall-time measurement with explicit nesting
+//! and RAII recording.
+//!
+//! A [`Span`] starts timing when created and records its elapsed
+//! nanoseconds into the owning registry's `span.<path>.ns` histogram
+//! when dropped (or explicitly via [`Span::finish`]). Nesting is by
+//! *explicit parent handle* — `parent.child("stage")` — and shows up in
+//! the metric name as a `/`-joined path, so `span.batch/exact.ns` is
+//! unambiguous about where the time was spent. No thread-local stack, no
+//! global state: a span is just an `Instant`, a path, and a registry
+//! reference.
+
+use crate::registry::Registry;
+use std::time::{Duration, Instant};
+
+/// A running timer tied to a [`Registry`]. See the module docs.
+#[derive(Debug)]
+pub struct Span<'r> {
+    registry: &'r Registry,
+    path: String,
+    start: Instant,
+    recorded: bool,
+}
+
+impl<'r> Span<'r> {
+    pub(crate) fn root(registry: &'r Registry, name: &str) -> Self {
+        Span { registry, path: name.to_string(), start: Instant::now(), recorded: false }
+    }
+
+    /// Starts a child span; its metric name is `span.<parent>/<name>.ns`.
+    /// The child borrows nothing from the parent beyond the registry, so
+    /// children may outlive siblings but are typically dropped first.
+    pub fn child(&self, name: &str) -> Span<'r> {
+        Span {
+            registry: self.registry,
+            path: format!("{}/{name}", self.path),
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// The `/`-joined path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Elapsed time so far, without stopping the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops the span now, records it, and returns the duration —
+    /// instead of waiting for the drop.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.registry.record_span(&self.path, self.start);
+        self.recorded = true;
+        elapsed
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.registry.record_span(&self.path, self.start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop_under_its_path() {
+        let r = Registry::new();
+        {
+            let _s = r.span("build");
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("span.build.ns").expect("histogram created on drop");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let r = Registry::new();
+        let s = r.span("once");
+        let d = s.finish();
+        assert!(d.as_nanos() > 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("span.once.ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn nesting_produces_parent_child_paths_and_ordered_durations() {
+        let r = Registry::new();
+        {
+            let parent = r.span("outer");
+            {
+                let child = parent.child("inner");
+                assert_eq!(child.path(), "outer/inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let snap = r.snapshot();
+        let outer = snap.histogram("span.outer.ns").unwrap();
+        let inner = snap.histogram("span.outer/inner.ns").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The parent encloses the child, so its recorded time is at least
+        // the child's. Sums are exact per-histogram totals.
+        assert!(outer.sum >= inner.sum, "outer {} < inner {}", outer.sum, inner.sum);
+        assert!(inner.sum >= 2_000_000, "sleep must register: {}", inner.sum);
+    }
+}

@@ -10,4 +10,11 @@ cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Telemetry smoke: the throughput bench must emit machine-readable JSON
+# lines that the workspace's own parser accepts.
+bench_json="$(mktemp /tmp/bench.XXXXXX.json)"
+trap 'rm -f "$bench_json"' EXIT
+cargo run --release --offline -p cardir-bench --bin engine_throughput -- 100 --json "$bench_json" > /dev/null
+cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json"
+
 echo "ci: all green"

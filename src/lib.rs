@@ -24,6 +24,8 @@
 //!   scenario ([`cardir_workloads`]);
 //! * [`segment`] — the raster-segmentation substrate of the usage
 //!   scenario ([`cardir_segment`]);
+//! * [`telemetry`] — stdlib-only counters, histograms, span timers, and
+//!   report / JSON-lines sinks ([`cardir_telemetry`]);
 //! * [`extensions`] — topological and distance relations, the paper's
 //!   Section-5 future work ([`cardir_extensions`]).
 //!
@@ -51,4 +53,5 @@ pub use cardir_geometry as geometry;
 pub use cardir_index as index;
 pub use cardir_reasoning as reasoning;
 pub use cardir_segment as segment;
+pub use cardir_telemetry as telemetry;
 pub use cardir_workloads as workloads;
