@@ -41,6 +41,6 @@ pub mod xml;
 pub use model::{AnnotatedRegion, ConfigError, Configuration, StoredRelation};
 pub use query::{
     evaluate, evaluate_indexed, evaluate_indexed_with_stats, evaluate_with_stats, parse_query,
-    Binding, EvalStats, Query, RegionIndex,
+    Binding, EvalError, EvalStats, LexError, Query, QueryParseError, RegionIndex,
 };
 pub use xml::{from_xml, to_xml, XmlError};

@@ -32,4 +32,4 @@ pub use eval::{
     ConjunctStats, EvalError, EvalStats, RegionIndex,
 };
 pub use parser::{parse_query, QueryParseError};
-pub use token::{tokenize, Token};
+pub use token::{tokenize, tokenize_spanned, LexError, Token};

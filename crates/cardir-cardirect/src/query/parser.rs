@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the query language.
 
 use super::ast::{Condition, Query};
-use super::token::{tokenize, LexError, Token};
+use super::token::{snippet_at, tokenize_spanned, LexError, Token};
 use cardir_core::{CardinalRelation, Tile};
 use cardir_reasoning::DisjunctiveRelation;
 use std::fmt;
@@ -44,63 +44,82 @@ impl From<LexError> for QueryParseError {
 /// Parses a query such as
 /// `{(a, b) | color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b}`.
 pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
-    let tokens = tokenize(input)?;
-    let mut p = P { tokens: &tokens, pos: 0 };
+    let tokens = tokenize_spanned(input)?;
+    let mut p = P { tokens: &tokens, pos: 0, input };
     let q = p.query()?;
     if p.pos != tokens.len() {
         return Err(QueryParseError::Syntax(format!(
-            "trailing input after query: {}",
-            tokens[p.pos..].iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+            "trailing input after query {}",
+            p.describe_position()
         )));
     }
     Ok(q)
 }
 
 struct P<'a> {
-    tokens: &'a [Token],
+    tokens: &'a [(Token, usize)],
     pos: usize,
+    input: &'a str,
 }
 
 impl<'a> P<'a> {
     fn peek(&self) -> Option<&'a Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
     }
 
     fn next(&mut self) -> Option<&'a Token> {
-        let t = self.tokens.get(self.pos);
+        let t = self.tokens.get(self.pos).map(|(t, _)| t);
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
+    /// Where the parser currently stands, for error messages: the byte
+    /// offset of the *next unconsumed* token plus a short input excerpt.
+    /// Token offsets come from `char_indices` and the excerpt is cut by
+    /// [`snippet_at`], so rendering never slices a multibyte character.
+    fn describe_position(&self) -> String {
+        match self.tokens.get(self.pos) {
+            Some(&(_, at)) => format!("at byte {at}: {:?}", snippet_at(self.input, at)),
+            None => "at end of input".to_string(),
+        }
+    }
+
     fn expect(&mut self, t: &Token) -> Result<(), QueryParseError> {
+        let here = self.describe_position();
         match self.next() {
             Some(found) if found == t => Ok(()),
-            found => Err(QueryParseError::Syntax(format!(
-                "expected {t}, found {}",
-                found.map_or("end of input".to_string(), |f| f.to_string())
-            ))),
+            Some(found) => {
+                Err(QueryParseError::Syntax(format!("expected {t}, found {found} {here}")))
+            }
+            None => Err(QueryParseError::Syntax(format!("expected {t}, found end of input"))),
         }
     }
 
     fn ident(&mut self) -> Result<String, QueryParseError> {
+        let here = self.describe_position();
         match self.next() {
             Some(Token::Ident(s)) => Ok(s.clone()),
-            found => Err(QueryParseError::Syntax(format!(
-                "expected an identifier, found {}",
-                found.map_or("end of input".to_string(), |f| f.to_string())
+            Some(found) => Err(QueryParseError::Syntax(format!(
+                "expected an identifier, found {found} {here}"
             ))),
+            None => {
+                Err(QueryParseError::Syntax("expected an identifier, found end of input".into()))
+            }
         }
     }
 
     fn ident_or_string(&mut self) -> Result<String, QueryParseError> {
+        let here = self.describe_position();
         match self.next() {
             Some(Token::Ident(s)) | Some(Token::Str(s)) => Ok(s.clone()),
-            found => Err(QueryParseError::Syntax(format!(
-                "expected an identifier or string, found {}",
-                found.map_or("end of input".to_string(), |f| f.to_string())
+            Some(found) => Err(QueryParseError::Syntax(format!(
+                "expected an identifier or string, found {found} {here}"
             ))),
+            None => Err(QueryParseError::Syntax(
+                "expected an identifier or string, found end of input".into(),
+            )),
         }
     }
 
@@ -169,10 +188,13 @@ impl<'a> P<'a> {
                 self.check_var(&reference, variables)?;
                 Ok(Condition::Direction { primary: first, relation, reference })
             }
-            found => Err(QueryParseError::Syntax(format!(
-                "expected a condition after {first:?}, found {}",
-                found.map_or("end of input".to_string(), |f| f.to_string())
-            ))),
+            found => {
+                let here = self.describe_position();
+                Err(QueryParseError::Syntax(format!(
+                    "expected a condition after {first:?}, found {} {here}",
+                    found.map_or("end of input".to_string(), |f| f.to_string())
+                )))
+            }
         }
     }
 
@@ -241,6 +263,50 @@ mod tests {
     fn parses_quoted_values() {
         let q = parse_query(r#"{(x) | name(x) = "South Italy"}"#).unwrap();
         assert!(matches!(&q.conditions[0], Condition::Attribute { value, .. } if value == "South Italy"));
+    }
+
+    #[test]
+    fn parses_multibyte_region_names() {
+        // Multibyte region names both as bare identifiers (identity
+        // condition right-hand side) and inside string literals.
+        let q = parse_query(r#"{(x, y) | x = Αττική, name(y) = "Πελοπόννησος 北海道", x N y}"#)
+            .unwrap();
+        assert!(
+            matches!(&q.conditions[0], Condition::Identity { region, .. } if region == "Αττική")
+        );
+        assert!(matches!(
+            &q.conditions[1],
+            Condition::Attribute { value, .. } if value == "Πελοπόννησος 北海道"
+        ));
+    }
+
+    #[test]
+    fn error_spans_stay_on_char_boundaries_with_multibyte_input() {
+        // Syntax errors whose position lands after multibyte text must
+        // render (byte offset + excerpt) without panicking on a non-char
+        // boundary.
+        let cases = [
+            r#"{(x) | x = Αττική = }"#,          // stray '=' after multibyte ident
+            r#"{(Αττική, Αττική) | Αττική N Αττική}"#, // duplicate multibyte variable
+            r#"{(x) | x = "Αττική"} Πελοπόννησος"#, // multibyte trailing input
+            r#"{(x) | Αττική"#,                  // EOF mid-condition
+            "{(Αττική) | name(Αττική) = \"北海道\" extra",
+        ];
+        for q in cases {
+            let err = parse_query(q).unwrap_err();
+            let _ = err.to_string(); // must not panic
+        }
+        // A specific span: trailing multibyte input is reported at its
+        // own byte offset with a well-formed excerpt.
+        let input = r#"{(x) | x = a} Αττική"#;
+        match parse_query(input).unwrap_err() {
+            QueryParseError::Syntax(msg) => {
+                assert!(msg.contains("trailing input"), "{msg}");
+                assert!(msg.contains(&format!("at byte {}", input.find('Α').unwrap())), "{msg}");
+                assert!(msg.contains("Αττική"), "{msg}");
+            }
+            other => panic!("expected a syntax error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -63,6 +63,15 @@ impl std::error::Error for LexError {}
 
 /// Tokenizes a query string.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    Ok(tokenize_spanned(input)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenizes a query string, pairing each token with the byte offset of
+/// its first character. Offsets always fall on `char` boundaries of
+/// `input` (they come straight from `char_indices`), so they are safe to
+/// slice with — the parser uses them to point syntax errors at the
+/// offending spot even in multibyte identifiers and string literals.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<(Token, usize)>, LexError> {
     let mut out = Vec::new();
     let mut chars = input.char_indices().peekable();
     while let Some(&(pos, c)) = chars.peek() {
@@ -72,35 +81,35 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             }
             '{' => {
                 chars.next();
-                out.push(Token::LBrace);
+                out.push((Token::LBrace, pos));
             }
             '}' => {
                 chars.next();
-                out.push(Token::RBrace);
+                out.push((Token::RBrace, pos));
             }
             '(' => {
                 chars.next();
-                out.push(Token::LParen);
+                out.push((Token::LParen, pos));
             }
             ')' => {
                 chars.next();
-                out.push(Token::RParen);
+                out.push((Token::RParen, pos));
             }
             '|' => {
                 chars.next();
-                out.push(Token::Pipe);
+                out.push((Token::Pipe, pos));
             }
             ',' => {
                 chars.next();
-                out.push(Token::Comma);
+                out.push((Token::Comma, pos));
             }
             '=' => {
                 chars.next();
-                out.push(Token::Eq);
+                out.push((Token::Eq, pos));
             }
             ':' => {
                 chars.next();
-                out.push(Token::Colon);
+                out.push((Token::Colon, pos));
             }
             '"' => {
                 chars.next();
@@ -112,7 +121,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                         None => return Err(LexError { character: '"', position: pos }),
                     }
                 }
-                out.push(Token::Str(s));
+                out.push((Token::Str(s), pos));
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let mut s = String::new();
@@ -124,12 +133,28 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                out.push(Token::Ident(s));
+                out.push((Token::Ident(s), pos));
             }
             other => return Err(LexError { character: other, position: pos }),
         }
     }
     Ok(out)
+}
+
+/// A short excerpt of `input` starting near byte `pos`, for error
+/// messages. `pos` is clamped onto `char` boundaries in both directions,
+/// so the slice can never panic — even when an error position lands
+/// inside a multibyte sequence or past the end of the string.
+pub(crate) fn snippet_at(input: &str, pos: usize) -> &str {
+    let mut start = pos.min(input.len());
+    while start > 0 && !input.is_char_boundary(start) {
+        start -= 1;
+    }
+    let mut end = (start + 24).min(input.len());
+    while end < input.len() && !input.is_char_boundary(end) {
+        end += 1;
+    }
+    &input[start..end]
 }
 
 #[cfg(test)]
@@ -168,5 +193,44 @@ mod tests {
     fn identifiers_allow_dots_dashes_digits() {
         let tokens = tokenize("r0.sub-part_x").unwrap();
         assert_eq!(tokens, vec![Token::Ident("r0.sub-part_x".into())]);
+    }
+
+    #[test]
+    fn multibyte_identifiers_and_strings() {
+        // Region names like Αττική (Greek) or 北海道 (CJK) are plain
+        // alphanumerics to the tokenizer; byte offsets stay on char
+        // boundaries throughout.
+        let tokens = tokenize_spanned(r#"Αττική = "Šumava 北海道""#).unwrap();
+        assert_eq!(tokens[0].0, Token::Ident("Αττική".into()));
+        assert_eq!(tokens[0].1, 0);
+        assert_eq!(tokens[1].0, Token::Eq);
+        assert_eq!(tokens[2].0, Token::Str("Šumava 北海道".into()));
+        // The Eq's byte offset lands after the 12-byte Greek word + space.
+        assert_eq!(tokens[1].1, "Αττική ".len());
+    }
+
+    #[test]
+    fn lex_error_position_after_multibyte_prefix() {
+        // The offending '#' sits after multibyte text; its byte position
+        // must be the char-boundary offset, and rendering must not panic.
+        let input = "Αττική #";
+        let err = tokenize(input).unwrap_err();
+        assert_eq!(err.character, '#');
+        assert_eq!(err.position, "Αττική ".len());
+        assert!(input.is_char_boundary(err.position));
+        let _ = err.to_string();
+    }
+
+    #[test]
+    fn snippets_clamp_to_char_boundaries() {
+        let input = "ΑττικήΑττικήΑττικήΑττική"; // every boundary is 2 bytes apart
+        for pos in 0..=input.len() + 4 {
+            // Any byte position — including mid-char and out of range —
+            // yields a valid slice.
+            let s = snippet_at(input, pos);
+            assert!(input.contains(s) || s.is_empty());
+        }
+        assert_eq!(snippet_at("abc", 1), "bc");
+        assert_eq!(snippet_at("abc", 99), "");
     }
 }

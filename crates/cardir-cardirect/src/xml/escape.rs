@@ -7,13 +7,22 @@ pub fn escape_text(s: &str) -> Cow<'_, str> {
     escape(s, false)
 }
 
-/// Escapes an attribute value (`&`, `<`, `>`, `"`, `'`).
+/// Escapes an attribute value (`&`, `<`, `>`, `"`, `'`, and C0 control
+/// characters).
+///
+/// Literal `\n`/`\r`/`\t` (and every other C0 control) become numeric
+/// character references: XML attribute-value normalization replaces raw
+/// whitespace controls with spaces on re-parse, so emitting them bare
+/// silently corrupts the value. References survive normalization, which
+/// keeps attribute round-trips byte-faithful.
 pub fn escape_attribute(s: &str) -> Cow<'_, str> {
     escape(s, true)
 }
 
 fn escape(s: &str, attribute: bool) -> Cow<'_, str> {
-    let needs = |c: char| matches!(c, '&' | '<' | '>') || (attribute && matches!(c, '"' | '\''));
+    let needs = |c: char| {
+        matches!(c, '&' | '<' | '>') || (attribute && (matches!(c, '"' | '\'') || c.is_control()))
+    };
     if !s.chars().any(needs) {
         return Cow::Borrowed(s);
     }
@@ -25,6 +34,10 @@ fn escape(s: &str, attribute: bool) -> Cow<'_, str> {
             '>' => out.push_str("&gt;"),
             '"' if attribute => out.push_str("&quot;"),
             '\'' if attribute => out.push_str("&apos;"),
+            c if attribute && c.is_control() => {
+                use std::fmt::Write;
+                let _ = write!(out, "&#{};", c as u32);
+            }
             other => out.push(other),
         }
     }
@@ -98,6 +111,42 @@ mod tests {
     fn unescape_round_trips() {
         for s in ["a < b & c > d", r#"say "hi" & 'bye'"#, "plain", "tail&"] {
             assert_eq!(unescape(&escape_attribute(s)), s);
+        }
+    }
+
+    #[test]
+    fn attribute_controls_become_numeric_references() {
+        // Raw \n/\r/\t in attribute values are normalized to spaces by
+        // conforming XML parsers; they must be emitted as references.
+        assert_eq!(escape_attribute("a\nb\tc\rd"), "a&#10;b&#9;c&#13;d");
+        let escaped = escape_attribute("line1\nline2");
+        assert!(!escaped.contains('\n'), "no raw newline may survive: {escaped:?}");
+        // Text content keeps literal whitespace (no normalization there).
+        assert_eq!(escape_text("a\nb"), "a\nb");
+    }
+
+    /// Property test: escape↔unescape is the identity over every C0 and
+    /// C1 control character (and their mixes with specials), and the
+    /// escaped attribute form never contains a raw control character.
+    #[test]
+    fn attribute_escape_round_trips_all_control_characters() {
+        let controls =
+            (0u32..0x20).chain(std::iter::once(0x7f)).chain(0x80..0xa0).map(|v| char::from_u32(v).unwrap());
+        for c in controls {
+            for s in [
+                format!("{c}"),
+                format!("pre{c}post"),
+                format!("{c}{c}"),
+                format!("a<{c}>&\"{c}'z"),
+            ] {
+                let escaped = escape_attribute(&s);
+                assert!(
+                    !escaped.chars().any(|e| e.is_control()),
+                    "U+{:04X}: escaped form {escaped:?} leaks a control char",
+                    c as u32
+                );
+                assert_eq!(unescape(&escaped), s, "U+{:04X} must round-trip", c as u32);
+            }
         }
     }
 

@@ -70,9 +70,18 @@ pub fn clipping_cdr(a: &Region, b: &Region) -> ClippingOutcome {
     }
 
     let eps = 1e-9 * a.area();
-    let relation = areas
-        .relation(eps)
-        .expect("a valid region has positive area in at least one tile");
+    // A valid region has positive area in at least one tile, but extreme
+    // aspect ratios or magnitudes can round every clipped area under the
+    // threshold. Fall back to the tile holding the largest clipped area
+    // rather than panicking — the relation stays a best-effort answer, as
+    // clipping is throughout.
+    let relation = areas.relation(eps).unwrap_or_else(|| {
+        let best = ALL_TILES
+            .into_iter()
+            .max_by(|s, t| areas.get(*s).total_cmp(&areas.get(*t)))
+            .unwrap_or(crate::tile::Tile::B);
+        CardinalRelation::from_bits(best.bit()).unwrap_or(CardinalRelation::OMNI)
+    });
     ClippingOutcome { relation, areas, stats }
 }
 

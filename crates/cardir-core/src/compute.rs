@@ -35,6 +35,18 @@ pub fn compute_cdr_with_mbb(a: &Region, mbb: BoundingBox) -> CardinalRelation {
     cdr_over_mbb(a, mbb).0
 }
 
+/// Fallible [`compute_cdr_with_mbb`]: rejects a non-finite or inverted
+/// reference box instead of producing garbage tiles (NaN bounds classify
+/// every comparison false, silently funnelling all sub-edges into one
+/// band).
+pub fn try_compute_cdr_with_mbb(
+    a: &Region,
+    mbb: BoundingBox,
+) -> Result<CardinalRelation, crate::error::ComputeError> {
+    crate::error::validate_mbb(mbb)?;
+    Ok(cdr_over_mbb(a, mbb).0)
+}
+
 /// [`compute_cdr`] plus edge-division statistics (for the Fig. 3
 /// experiments).
 pub fn compute_cdr_with_stats(a: &Region, b: &Region) -> (CardinalRelation, DivisionStats) {
@@ -247,5 +259,28 @@ mod tests {
     fn identical_regions_relate_by_b() {
         let b = b();
         assert_eq!(compute_cdr(&b, &b).to_string(), "B");
+    }
+
+    #[test]
+    fn try_variant_validates_the_reference_box() {
+        use crate::error::ComputeError;
+        use cardir_geometry::{BoundingBox, Point};
+
+        let b = b();
+        let a = rect(1.0, -3.0, 3.0, -1.0);
+        assert_eq!(
+            super::try_compute_cdr_with_mbb(&a, b.mbb()),
+            Ok(compute_cdr(&a, &b))
+        );
+        let nan = BoundingBox { min: Point::new(f64::NAN, 0.0), max: Point::new(4.0, 4.0) };
+        assert!(matches!(
+            super::try_compute_cdr_with_mbb(&a, nan),
+            Err(ComputeError::NonFiniteBounds(_))
+        ));
+        let inverted = BoundingBox { min: Point::new(4.0, 0.0), max: Point::new(0.0, 4.0) };
+        assert!(matches!(
+            super::try_compute_cdr_with_mbb(&a, inverted),
+            Err(ComputeError::InvertedBounds(_))
+        ));
     }
 }

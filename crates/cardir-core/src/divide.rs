@@ -22,9 +22,16 @@ pub struct DivisionStats {
 }
 
 impl DivisionStats {
-    /// Edges added by the division (`output − input`).
+    /// Edges added by the division, saturating at zero.
+    ///
+    /// For stats produced by [`for_each_division`] the invariant
+    /// `output_edges >= input_edges` holds — division only ever splits
+    /// edges, never merges them. The fields are public, though, so a
+    /// caller aggregating or hand-building stats can feed a pair where
+    /// `output < input`; `saturating_sub` keeps that a defined `0`
+    /// instead of a debug-build overflow panic.
     pub fn edges_added(&self) -> usize {
-        self.output_edges - self.input_edges
+        self.output_edges.saturating_sub(self.input_edges)
     }
 }
 
@@ -231,5 +238,9 @@ mod tests {
     fn division_stats_added() {
         let s = DivisionStats { input_edges: 4, output_edges: 9 };
         assert_eq!(s.edges_added(), 5);
+        // Hand-built stats with output < input must not panic in debug
+        // builds; the difference saturates at zero.
+        let inverted = DivisionStats { input_edges: 9, output_edges: 4 };
+        assert_eq!(inverted.edges_added(), 0);
     }
 }

@@ -1,0 +1,78 @@
+//! Error type for the fallible computation entry points.
+//!
+//! The infallible algorithms ([`crate::compute_cdr`],
+//! [`crate::tile_areas`]) take `Region` arguments whose constructors
+//! already guarantee finite coordinates and positive area, so they cannot
+//! fail. The `*_with_mbb` variants, however, accept a caller-supplied
+//! reference box — the one input a batch layer can get wrong — and the
+//! `try_` entry points validate it instead of relying on debug
+//! assertions.
+
+use cardir_geometry::BoundingBox;
+use std::fmt;
+
+/// Why a computation over a caller-supplied reference box was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComputeError {
+    /// The reference box contains a NaN or infinite coordinate, so the
+    /// grid lines of the tile partition are undefined.
+    NonFiniteBounds(BoundingBox),
+    /// The reference box is inverted (`min > max` on some axis); such a
+    /// box denotes no rectangle. Degenerate boxes (`min == max`) are
+    /// *accepted* — a point or segment reference induces a partition with
+    /// point/segment-degenerate tiles, which the algorithms handle.
+    InvertedBounds(BoundingBox),
+}
+
+impl fmt::Display for ComputeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeError::NonFiniteBounds(b) => {
+                write!(f, "reference bounding box {b} has a non-finite coordinate")
+            }
+            ComputeError::InvertedBounds(b) => {
+                write!(f, "reference bounding box {b} is inverted (min > max)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComputeError {}
+
+/// Validates a caller-supplied reference box for the `try_` entry points.
+pub(crate) fn validate_mbb(mbb: BoundingBox) -> Result<(), ComputeError> {
+    let coords = [mbb.min.x, mbb.min.y, mbb.max.x, mbb.max.y];
+    if coords.iter().any(|c| !c.is_finite()) {
+        return Err(ComputeError::NonFiniteBounds(mbb));
+    }
+    if mbb.min.x > mbb.max.x || mbb.min.y > mbb.max.y {
+        return Err(ComputeError::InvertedBounds(mbb));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardir_geometry::Point;
+
+    #[test]
+    fn validation_accepts_proper_and_degenerate_boxes() {
+        let ok = BoundingBox::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        assert_eq!(validate_mbb(ok), Ok(()));
+        // Degenerate (point / segment) references are legal partitions.
+        let point = BoundingBox::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(validate_mbb(point), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_and_inverted() {
+        let nan = BoundingBox { min: Point::new(f64::NAN, 0.0), max: Point::new(1.0, 1.0) };
+        assert!(matches!(validate_mbb(nan), Err(ComputeError::NonFiniteBounds(_))));
+        let inf = BoundingBox { min: Point::new(0.0, 0.0), max: Point::new(f64::INFINITY, 1.0) };
+        assert!(matches!(validate_mbb(inf), Err(ComputeError::NonFiniteBounds(_))));
+        let inverted = BoundingBox { min: Point::new(2.0, 0.0), max: Point::new(1.0, 1.0) };
+        assert!(matches!(validate_mbb(inverted), Err(ComputeError::InvertedBounds(_))));
+        let _ = validate_mbb(inverted).unwrap_err().to_string();
+    }
+}

@@ -35,6 +35,7 @@
 pub mod baseline;
 pub mod compute;
 pub mod divide;
+pub mod error;
 pub mod hook;
 pub mod matrix;
 pub mod percent;
@@ -42,12 +43,17 @@ pub mod relation;
 pub mod tile;
 
 pub use baseline::{clipping_cdr, ClippingOutcome, ClippingStats};
-pub use compute::{compute_cdr, compute_cdr_hooked, compute_cdr_with_mbb, compute_cdr_with_stats};
+pub use compute::{
+    compute_cdr, compute_cdr_hooked, compute_cdr_with_mbb, compute_cdr_with_stats,
+    try_compute_cdr_with_mbb,
+};
 pub use divide::{classify_subedge, for_each_division, DivisionStats};
+pub use error::ComputeError;
 pub use hook::{CountingHook, MetricsHook, NoopHook};
 pub use matrix::{DirectionMatrix, PercentageMatrix, TileAreas};
 pub use percent::{
     compute_cdr_pct, tile_areas, tile_areas_hooked, tile_areas_with_mbb, tile_areas_with_stats,
+    try_tile_areas_with_mbb,
 };
 pub use relation::{CardinalRelation, RelationParseError};
 pub use tile::{Tile, ALL_TILES};

@@ -173,17 +173,93 @@ impl PercentageMatrix {
 
 impl fmt::Display for PercentageMatrix {
     /// Prints like the paper's percentage matrices, e.g. `0% 0% 50%` rows.
+    ///
+    /// Cells are rounded with largest-remainder apportionment at the
+    /// requested precision, so the printed values always sum to the
+    /// rounded total (100 for any non-empty matrix). Rounding each cell
+    /// independently can drift — a 3-way 1/3 split prints `33% 33% 33%`
+    /// (99) — so the quota lost to flooring is handed back one display
+    /// quantum at a time to the cells with the largest remainders,
+    /// row-major on ties.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let prec = f.precision().unwrap_or(0);
-        for (i, row) in self.cells.iter().enumerate() {
+        // Beyond ~12 fractional digits the quanta outrun f64 percentage
+        // resolution; apportion at 12 digits and zero-pad the rest.
+        let digits = prec.min(12);
+        let scale = 10f64.powi(digits as i32);
+        let base = 10i64.pow(digits as u32);
+        let mut quanta = [[0i64; 3]; 3];
+        let mut remainders = [[0f64; 3]; 3];
+        let mut floor_sum = 0i64;
+        for (qrow, (rrow, row)) in
+            quanta.iter_mut().zip(remainders.iter_mut().zip(&self.cells))
+        {
+            for (q, (r, cell)) in qrow.iter_mut().zip(rrow.iter_mut().zip(row)) {
+                let scaled = cell * scale;
+                let floor = scaled.floor();
+                *q = floor as i64;
+                *r = scaled - floor;
+                floor_sum += floor as i64;
+            }
+        }
+        // Distribute the quota the floors lost (at most one quantum per
+        // cell). The two sums can disagree by a final ulp in either
+        // direction, so correct downwards too, taking from the smallest
+        // remainders without driving any cell negative.
+        let target = (self.sum() * scale).round() as i64;
+        let mut deficit = target - floor_sum;
+        while deficit > 0 {
+            let mut pick = (0, 0);
+            for r in 0..3 {
+                for c in 0..3 {
+                    if remainders[r][c] > remainders[pick.0][pick.1] {
+                        pick = (r, c);
+                    }
+                }
+            }
+            quanta[pick.0][pick.1] += 1;
+            remainders[pick.0][pick.1] = f64::NEG_INFINITY;
+            deficit -= 1;
+        }
+        while deficit < 0 {
+            let mut pick: Option<(usize, usize)> = None;
+            for r in 0..3 {
+                for c in 0..3 {
+                    let better = match pick {
+                        None => true,
+                        Some((pr, pc)) => remainders[r][c] < remainders[pr][pc],
+                    };
+                    if quanta[r][c] > 0 && better {
+                        pick = Some((r, c));
+                    }
+                }
+            }
+            match pick {
+                Some((r, c)) => {
+                    quanta[r][c] -= 1;
+                    remainders[r][c] = f64::INFINITY;
+                    deficit += 1;
+                }
+                None => break,
+            }
+        }
+        for (i, row) in quanta.iter().enumerate() {
             if i > 0 {
                 writeln!(f)?;
             }
-            for (j, cell) in row.iter().enumerate() {
+            for (j, q) in row.iter().enumerate() {
                 if j > 0 {
                     write!(f, " ")?;
                 }
-                write!(f, "{cell:.prec$}%")?;
+                // Integer quanta formatted directly: no float re-rounding.
+                write!(f, "{}", q / base)?;
+                if prec > 0 {
+                    write!(f, ".{:0digits$}", q % base)?;
+                    for _ in digits..prec {
+                        write!(f, "0")?;
+                    }
+                }
+                write!(f, "%")?;
             }
         }
         Ok(())
@@ -254,6 +330,58 @@ mod tests {
         *a.get_mut(Tile::B) = 2.0;
         let p = a.percentages();
         assert_eq!(format!("{p:.1}"), "0.0% 33.3% 0.0%\n0.0% 66.7% 0.0%\n0.0% 0.0% 0.0%");
+    }
+
+    /// Regression: a 3-way 1/3 split used to print `33% 33% 33%` (sums to
+    /// 99). Largest-remainder apportionment must hand the lost percent to
+    /// one cell so every printed matrix totals 100%.
+    #[test]
+    fn percentage_matrix_display_totals_100_on_third_splits() {
+        let mut a = TileAreas::default();
+        *a.get_mut(Tile::N) = 1.0;
+        *a.get_mut(Tile::B) = 1.0;
+        *a.get_mut(Tile::S) = 1.0;
+        let p = a.percentages();
+        // All three remainders tie at .333…; row-major order gives the
+        // extra percent to N (row 0).
+        assert_eq!(p.to_string(), "0% 34% 0%\n0% 33% 0%\n0% 33% 0%");
+        assert_eq!(format!("{p:.2}"), "0.00% 33.34% 0.00%\n0.00% 33.33% 0.00%\n0.00% 33.33% 0.00%");
+        // The printed cells sum to exactly 100 at any precision.
+        for rendered in [p.to_string(), format!("{p:.1}"), format!("{p:.3}")] {
+            let sum: f64 = rendered
+                .split_whitespace()
+                .map(|c| c.trim_end_matches('%').parse::<f64>().unwrap())
+                .sum();
+            assert!((sum - 100.0).abs() < 1e-9, "{rendered} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn percentage_matrix_display_zero_matrix_stays_zero() {
+        // An empty matrix (total area 0) must not have 100% apportioned
+        // into it: the target is the rounded total, which is 0.
+        let p = TileAreas::default().percentages();
+        assert_eq!(p.to_string(), "0% 0% 0%\n0% 0% 0%\n0% 0% 0%");
+        assert_eq!(format!("{p:.1}"), "0.0% 0.0% 0.0%\n0.0% 0.0% 0.0%\n0.0% 0.0% 0.0%");
+    }
+
+    #[test]
+    fn percentage_matrix_display_seven_way_split() {
+        // 100/7 = 14.2857…: floors lose 6 quanta at precision 0, which
+        // must flow back to the six largest remainders.
+        let mut a = TileAreas::default();
+        for t in [Tile::B, Tile::N, Tile::S, Tile::E, Tile::W, Tile::NE, Tile::SW] {
+            *a.get_mut(t) = 1.0;
+        }
+        let p = a.percentages();
+        let rendered = p.to_string();
+        let cells: Vec<i64> = rendered
+            .split_whitespace()
+            .map(|c| c.trim_end_matches('%').parse::<i64>().unwrap())
+            .collect();
+        assert_eq!(cells.iter().sum::<i64>(), 100, "{rendered}");
+        assert_eq!(cells.iter().filter(|&&c| c == 15).count(), 2, "{rendered}");
+        assert_eq!(cells.iter().filter(|&&c| c == 14).count(), 5, "{rendered}");
     }
 
     #[test]

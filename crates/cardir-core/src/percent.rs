@@ -46,6 +46,16 @@ pub fn tile_areas_with_mbb(a: &Region, mbb: BoundingBox) -> TileAreas {
     areas_over_mbb(a, mbb).0
 }
 
+/// Fallible [`tile_areas_with_mbb`]: rejects a non-finite or inverted
+/// reference box instead of accumulating NaN areas.
+pub fn try_tile_areas_with_mbb(
+    a: &Region,
+    mbb: BoundingBox,
+) -> Result<TileAreas, crate::error::ComputeError> {
+    crate::error::validate_mbb(mbb)?;
+    Ok(areas_over_mbb(a, mbb).0)
+}
+
 /// [`tile_areas`] plus edge-division statistics.
 pub fn tile_areas_with_stats(a: &Region, b: &Region) -> (TileAreas, DivisionStats) {
     areas_over_mbb(a, b.mbb())
@@ -278,6 +288,22 @@ mod tests {
         let b = b();
         let m = compute_cdr_pct(&b, &b);
         assert_close(m.get(Tile::B), 100.0);
+    }
+
+    #[test]
+    fn try_variant_validates_the_reference_box() {
+        use crate::error::ComputeError;
+        use cardir_geometry::{BoundingBox, Point};
+
+        let b = b();
+        let a = rect(3.0, 3.0, 5.0, 5.0);
+        let areas = super::try_tile_areas_with_mbb(&a, b.mbb()).unwrap();
+        assert_close(areas.total(), a.area());
+        let inf = BoundingBox { min: Point::new(0.0, 0.0), max: Point::new(f64::INFINITY, 4.0) };
+        assert!(matches!(
+            super::try_tile_areas_with_mbb(&a, inf),
+            Err(ComputeError::NonFiniteBounds(_))
+        ));
     }
 
     #[test]

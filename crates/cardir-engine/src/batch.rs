@@ -132,7 +132,33 @@ pub struct BatchEngine {
     threads: usize,
     mode: EngineMode,
     detailed_metrics: bool,
+    prefilter: bool,
 }
+
+/// Errors from the engine's fallible entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A requested pair referenced a region index outside the cache.
+    PairOutOfBounds {
+        /// The offending `(primary, reference)` pair.
+        pair: (usize, usize),
+        /// Number of regions in the cache.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::PairOutOfBounds { pair: (i, j), len } => write!(
+                f,
+                "pair ({i}, {j}) index out of bounds for a cache of {len} regions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 impl Default for BatchEngine {
     fn default() -> Self {
@@ -150,7 +176,12 @@ impl BatchEngine {
     /// detailed metrics off.
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        BatchEngine { threads, mode: EngineMode::Qualitative, detailed_metrics: false }
+        BatchEngine {
+            threads,
+            mode: EngineMode::Qualitative,
+            detailed_metrics: false,
+            prefilter: true,
+        }
     }
 
     /// Sets the number of worker threads (clamped to at least 1). The
@@ -176,9 +207,24 @@ impl BatchEngine {
         self
     }
 
+    /// Enables (or disables) the MBB prefilter. Results are bit-identical
+    /// either way — the prefilter only short-circuits pairs it can prove
+    /// from boxes alone — so disabling it exists for cross-validation
+    /// (the differential fuzzer runs both and compares) and for measuring
+    /// what the prefilter saves.
+    pub fn with_prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled;
+        self
+    }
+
     /// Worker threads this engine will use.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether the MBB prefilter is enabled.
+    pub fn prefilter(&self) -> bool {
+        self.prefilter
     }
 
     /// The configured mode.
@@ -204,7 +250,14 @@ impl BatchEngine {
             };
         }
         let mask_start = Instant::now();
-        let masks: Vec<ExactMask> = (0..n).map(|j| exact_mask(cache, j)).collect();
+        // With the prefilter disabled, zero-length masks answer
+        // `needs_exact == true` for every index, sending all pairs down
+        // the exact path.
+        let masks: Vec<ExactMask> = if self.prefilter {
+            (0..n).map(|j| exact_mask(cache, j)).collect()
+        } else {
+            (0..n).map(|_| ExactMask::new(0)).collect()
+        };
         let mask_build = mask_start.elapsed();
         let total = n * (n - 1);
         // Pair k → (i, j): i = k / (n−1); j skips the diagonal.
@@ -221,27 +274,45 @@ impl BatchEngine {
     /// allowed and always take the exact path.
     ///
     /// # Panics
-    /// Panics if a pair indexes outside the cache.
+    /// Panics if a pair indexes outside the cache. Use
+    /// [`BatchEngine::try_compute_pairs`] for a `Result` instead.
     pub fn compute_pairs(&self, cache: &RegionCache<'_>, pairs: &[(usize, usize)]) -> BatchResult {
+        match self.try_compute_pairs(cache, pairs) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`BatchEngine::compute_pairs`]: returns
+    /// [`EngineError::PairOutOfBounds`] instead of panicking when a pair
+    /// indexes outside the cache, so one malformed request cannot take
+    /// down a batch service.
+    pub fn try_compute_pairs(
+        &self,
+        cache: &RegionCache<'_>,
+        pairs: &[(usize, usize)],
+    ) -> Result<BatchResult, EngineError> {
         let n = cache.len();
-        assert!(
-            pairs.iter().all(|&(i, j)| i < n && j < n),
-            "pair index out of bounds for a cache of {n} regions"
-        );
+        if let Some(&pair) = pairs.iter().find(|&&(i, j)| i >= n || j >= n) {
+            return Err(EngineError::PairOutOfBounds { pair, len: n });
+        }
         // Masks only for references that actually occur.
         let mask_start = Instant::now();
         let mut masks: Vec<Option<ExactMask>> = vec![None; n];
-        for &(_, j) in pairs {
-            if masks[j].is_none() {
-                masks[j] = Some(exact_mask(cache, j));
+        if self.prefilter {
+            for &(_, j) in pairs {
+                if masks[j].is_none() {
+                    masks[j] = Some(exact_mask(cache, j));
+                }
             }
         }
-        // Unused references keep a zero-length mask; it is never consulted
-        // because no pair names them.
+        // Unused references (and every reference when the prefilter is
+        // off) keep a zero-length mask, which conservatively reports
+        // `needs_exact` for any index.
         let masks: Vec<ExactMask> =
             masks.into_iter().map(|m| m.unwrap_or_else(|| ExactMask::new(0))).collect();
         let mask_build = mask_start.elapsed();
-        self.run(cache, &masks, pairs.len(), |k| pairs[k], mask_build)
+        Ok(self.run(cache, &masks, pairs.len(), |k| pairs[k], mask_build))
     }
 
     /// The chunked parallel driver shared by both entry points.
@@ -553,6 +624,46 @@ mod tests {
         let regions = vec![rect(0.0, 0.0, 1.0, 1.0)];
         let cache = RegionCache::build(&regions);
         let _ = BatchEngine::new().compute_pairs(&cache, &[(0, 1)]);
+    }
+
+    #[test]
+    fn try_compute_pairs_reports_out_of_bounds() {
+        let regions = vec![rect(0.0, 0.0, 1.0, 1.0)];
+        let cache = RegionCache::build(&regions);
+        let err = BatchEngine::new().try_compute_pairs(&cache, &[(0, 0), (0, 1)]).unwrap_err();
+        assert_eq!(err, EngineError::PairOutOfBounds { pair: (0, 1), len: 1 });
+        assert!(err.to_string().contains("out of bounds"));
+        let ok = BatchEngine::new().try_compute_pairs(&cache, &[(0, 0)]).unwrap();
+        assert_eq!(ok.pairs.len(), 1);
+    }
+
+    #[test]
+    fn prefilter_off_is_bit_identical_and_all_exact() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let extent = cardir_geometry::BoundingBox::new(
+            cardir_geometry::Point::new(0.0, 0.0),
+            cardir_geometry::Point::new(300.0, 300.0),
+        );
+        let map = cardir_workloads::random_map(&mut rng, 15, extent);
+        let regions: Vec<Region> = map.into_iter().map(|m| m.region).collect();
+        let cache = RegionCache::build(&regions);
+        for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
+            let on = BatchEngine::new().with_mode(mode).with_threads(2).compute_all(&cache);
+            let off = BatchEngine::new()
+                .with_mode(mode)
+                .with_threads(2)
+                .with_prefilter(false)
+                .compute_all(&cache);
+            assert_eq!(off.stats.prefilter_hits, 0);
+            assert_eq!(off.stats.rtree_candidates, 0);
+            assert_eq!(off.stats.exact_pairs, off.stats.pairs);
+            assert_eq!(on.pairs.len(), off.pairs.len());
+            for (a, b) in on.pairs.iter().zip(&off.pairs) {
+                assert_eq!((a.primary, a.reference), (b.primary, b.reference));
+                assert_eq!(a.relation, b.relation);
+                assert_eq!(a.percentages, b.percentages, "pair ({}, {})", a.primary, a.reference);
+            }
+        }
     }
 
     #[test]

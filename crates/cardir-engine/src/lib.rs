@@ -29,7 +29,7 @@ pub mod cache;
 pub mod metrics;
 pub mod prefilter;
 
-pub use batch::{BatchEngine, BatchResult, BatchStats, EngineMode, PairRelation};
+pub use batch::{BatchEngine, BatchResult, BatchStats, EngineError, EngineMode, PairRelation};
 pub use cache::RegionCache;
 pub use metrics::EngineMetrics;
 pub use prefilter::{decided_tile, exact_mask, ExactMask};

@@ -80,9 +80,19 @@ impl ExactMask {
     }
 
     /// Does primary `i` need the exact path?
+    ///
+    /// Indices beyond the mask's range answer `true` — the conservative
+    /// direction: a pair is only ever short-circuited on the strength of
+    /// a mask that actually covers its primary. This also makes the
+    /// zero-length placeholder masks (unused references, prefilter
+    /// disabled) force every consulting pair onto the exact path instead
+    /// of panicking on an out-of-bounds bit word.
     #[inline]
     pub fn needs_exact(&self, i: usize) -> bool {
-        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+        match self.bits.get(i / 64) {
+            Some(w) => (w >> (i % 64)) & 1 == 1,
+            None => true,
+        }
     }
 
     /// Number of flagged primaries.
@@ -179,6 +189,16 @@ mod tests {
         // Far north but horizontally straddling the west line: undecided
         // (NW/N ambiguous from boxes alone... and edges may cross lines).
         assert_eq!(decided_tile(bb(-1.0, 6.0, 1.0, 8.0), reference), None);
+    }
+
+    #[test]
+    fn out_of_range_indices_conservatively_need_exact() {
+        let empty = ExactMask::new(0);
+        assert!(empty.needs_exact(0));
+        assert!(empty.needs_exact(1_000_000));
+        let mask = ExactMask::new(3);
+        assert!(!mask.needs_exact(2), "in-range unset bits stay clear");
+        assert!(mask.needs_exact(64), "past the bit words: conservative true");
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! The differential checks: every one compares two independent
+//! computations of the same fact and reports any disagreement.
+
+use cardir_cardirect::{evaluate, from_xml, parse_query, to_xml, Configuration};
+use cardir_core::{
+    clipping_cdr, compute_cdr, compute_cdr_with_mbb, tile_areas, tile_areas_with_mbb,
+    try_compute_cdr_with_mbb, ALL_TILES,
+};
+use cardir_engine::{BatchEngine, EngineMode, RegionCache};
+use cardir_geometry::{to_wkt, Region};
+
+/// One failed check.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Stable check name (`cdr-vs-clipping`, `engine-vs-naive`, …).
+    pub check: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+fn fail(check: &'static str, detail: String) -> Option<Failure> {
+    Some(Failure { check, detail })
+}
+
+/// Absolute tolerance for area comparisons between the linear algorithm
+/// and the clipping baseline. Scales with the coordinate magnitude of
+/// both operands (round-off in either algorithm is proportional to the
+/// squared magnitude), so the same generator runs unchanged at `2^±40`.
+fn area_tolerance(a: &Region, b: &Region) -> f64 {
+    1e-9 * (a.area() + a.mbb().area() + b.mbb().area()).max(f64::MIN_POSITIVE)
+}
+
+/// Checks one ordered pair: `compute_cdr` vs the clipping baseline,
+/// `tile_areas` vs the clipped areas and the region's own area, and the
+/// fallible entry point against the infallible one.
+pub fn check_pair(a: &Region, b: &Region) -> Option<Failure> {
+    let fast = compute_cdr(a, b);
+    let clipped = clipping_cdr(a, b);
+    if fast != clipped.relation {
+        return fail(
+            "cdr-vs-clipping",
+            format!("compute_cdr = {fast}, clipping baseline = {}", clipped.relation),
+        );
+    }
+
+    let areas = tile_areas(a, b);
+    let tol = area_tolerance(a, b);
+    for t in ALL_TILES {
+        let fast_area = areas.get(t);
+        let clip_area = clipped.areas.get(t);
+        if (fast_area - clip_area).abs() > tol {
+            return fail(
+                "areas-vs-clipping",
+                format!("tile {t}: tile_areas = {fast_area}, clipped = {clip_area}, tol = {tol}"),
+            );
+        }
+    }
+    if (areas.total() - a.area()).abs() > tol {
+        return fail(
+            "areas-vs-total",
+            format!("tile areas sum to {}, region area is {}, tol = {tol}", areas.total(), a.area()),
+        );
+    }
+
+    // The fallible entry points must accept every valid reference box and
+    // agree exactly with the infallible ones.
+    match try_compute_cdr_with_mbb(a, b.mbb()) {
+        Ok(r) if r == fast => {}
+        Ok(r) => return fail("try-vs-plain", format!("try = {r}, plain = {fast}")),
+        Err(e) => return fail("try-vs-plain", format!("rejected a valid mbb: {e}")),
+    }
+
+    None
+}
+
+/// Checks the batch engine against the naive per-pair loop: every thread
+/// count × prefilter setting must reproduce the naive relations and
+/// percentage matrices bit for bit, in the same order.
+pub fn check_engine(regions: &[Region]) -> Option<Failure> {
+    let cache = RegionCache::build(regions);
+    let n = regions.len();
+    let mut naive = Vec::new();
+    for (i, a) in regions.iter().enumerate() {
+        for j in 0..n {
+            if i != j {
+                let mbb = cache.mbb(j);
+                let rel = compute_cdr_with_mbb(a, mbb);
+                let pct = tile_areas_with_mbb(a, mbb).percentages();
+                naive.push((i, j, rel, pct));
+            }
+        }
+    }
+
+    for threads in [1usize, 2, 4] {
+        for prefilter in [true, false] {
+            let result = BatchEngine::new()
+                .with_mode(EngineMode::Quantitative)
+                .with_threads(threads)
+                .with_prefilter(prefilter)
+                .compute_all(&cache);
+            if result.pairs.len() != naive.len() {
+                return fail(
+                    "engine-vs-naive",
+                    format!(
+                        "threads={threads} prefilter={prefilter}: {} pairs, naive has {}",
+                        result.pairs.len(),
+                        naive.len()
+                    ),
+                );
+            }
+            for (pair, (i, j, rel, pct)) in result.pairs.iter().zip(&naive) {
+                if pair.primary != *i
+                    || pair.reference != *j
+                    || pair.relation != *rel
+                    || pair.percentages.as_ref() != Some(pct)
+                {
+                    return fail(
+                        "engine-vs-naive",
+                        format!(
+                            "threads={threads} prefilter={prefilter} pair ({i}, {j}): \
+                             engine {} / {:?}, naive {rel} / {pct:?}",
+                            pair.relation, pair.percentages
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Attribute value with every character class the escaper must survive.
+const HOSTILE_ATTRIBUTE: &str = "line1\nline2\ttab\rret \"quoted\" <tag> & 'apos' Αττική 北海道";
+
+/// Checks the persistence and query layers on a configuration built from
+/// the scenario: XML must round-trip bit-exactly (coordinates included)
+/// and stay stable under a second serialisation; a query derived from a
+/// computed relation must parse, display-round-trip, and evaluate to a
+/// binding containing the originating pair.
+pub fn check_config(regions: &[Region]) -> Option<Failure> {
+    let mut config = Configuration::new("fuzz κόσμος", "fuzz.png");
+    for (i, r) in regions.iter().enumerate() {
+        if let Err(e) = config.add_region(format!("r{i}"), format!("Περιοχή 北海道 {i}"), "blue", r.clone()) {
+            return fail("config-build", format!("add_region r{i}: {e}"));
+        }
+    }
+    if let Err(e) = config.set_attribute("r0", "note", HOSTILE_ATTRIBUTE) {
+        return fail("config-build", format!("set_attribute: {e}"));
+    }
+
+    let xml = to_xml(&config);
+    let back = match from_xml(&xml) {
+        Ok(c) => c,
+        Err(e) => return fail("xml-round-trip", format!("re-parse failed: {e}")),
+    };
+    if back.len() != config.len() {
+        return fail(
+            "xml-round-trip",
+            format!("{} regions became {}", config.len(), back.len()),
+        );
+    }
+    for (orig, re) in config.regions().iter().zip(back.regions()) {
+        if orig.id != re.id || orig.name != re.name || orig.attributes != re.attributes {
+            return fail(
+                "xml-round-trip",
+                format!("metadata of {:?} changed across the round trip", orig.id),
+            );
+        }
+        if orig.region != re.region {
+            return fail(
+                "xml-round-trip",
+                format!(
+                    "geometry of {:?} changed across the round trip:\n  before: {}\n  after:  {}",
+                    orig.id,
+                    to_wkt(&orig.region),
+                    to_wkt(&re.region)
+                ),
+            );
+        }
+    }
+    let xml2 = to_xml(&back);
+    if xml2 != xml {
+        return fail("xml-round-trip", "serialisation is not a fixpoint".to_string());
+    }
+
+    if regions.len() >= 2 {
+        let rel = compute_cdr(&regions[0], &regions[1]);
+        let text = format!("{{(x, y) | x {rel} y}}");
+        let query = match parse_query(&text) {
+            Ok(q) => q,
+            Err(e) => return fail("query-round-trip", format!("{text:?} failed to parse: {e}")),
+        };
+        match parse_query(&query.to_string()) {
+            Ok(q) if q == query => {}
+            Ok(_) => {
+                return fail(
+                    "query-round-trip",
+                    format!("display form {:?} parses to a different query", query.to_string()),
+                )
+            }
+            Err(e) => {
+                return fail(
+                    "query-round-trip",
+                    format!("display form {:?} failed to parse: {e}", query.to_string()),
+                )
+            }
+        }
+        match evaluate(&query, &config) {
+            Ok(bindings) => {
+                let expected = vec!["r0".to_string(), "r1".to_string()];
+                if !bindings.iter().any(|b| b.values == expected) {
+                    return fail(
+                        "query-eval",
+                        format!("evaluating {text:?} lost the originating pair (r0, r1)"),
+                    );
+                }
+            }
+            Err(e) => return fail("query-eval", format!("evaluating {text:?} failed: {e}")),
+        }
+    }
+
+    None
+}
+
+/// Shrinks a failing pair by dropping member polygons while the failure
+/// persists; returns the smallest reproduction found.
+pub fn minimize_pair(a: &Region, b: &Region) -> (Region, Region) {
+    fn without(r: &Region, idx: usize) -> Option<Region> {
+        if r.polygons().len() <= 1 {
+            return None;
+        }
+        let polys = r
+            .polygons()
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != idx)
+            .map(|(_, p)| p.clone());
+        Region::new(polys).ok()
+    }
+
+    let (mut a, mut b) = (a.clone(), b.clone());
+    loop {
+        let mut reduced = false;
+        for idx in 0..a.polygons().len() {
+            if let Some(candidate) = without(&a, idx) {
+                if check_pair(&candidate, &b).is_some() {
+                    a = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        for idx in 0..b.polygons().len() {
+            if let Some(candidate) = without(&b, idx) {
+                if check_pair(&a, &candidate).is_some() {
+                    b = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            return (a, b);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Adversarial scenario generation on an exact half-integer lattice.
+//!
+//! Every coordinate is `k/2` for an integer `k` in `[-128, 128]`,
+//! optionally scaled by an exact power of two (`2^±40`). On this lattice
+//! every vertex, every MBB grid line, and every edge/grid-line crossing
+//! parameter is an exact ratio of exactly-represented doubles, so two
+//! algorithms that are mathematically equal stay *bit*-comparable: any
+//! disagreement the differential checks see is a genuine divergence, not
+//! round-off noise. The lattice also bounds areas away from zero (a
+//! lattice triangle has area ≥ 1/8), keeping the clipping baseline's
+//! area threshold far from every real tile.
+//!
+//! The families deliberately concentrate on the degenerate contact cases
+//! the paper's algorithms must get right: primaries anchored to the
+//! reference's own grid lines (shared edges, touching corners, exact
+//! tile fills), needle polygons, rectilinear outlines with collinear
+//! consecutive edges lying on grid lines, multi-polygon regions
+//! straddling tiles, diagonals passing exactly through grid corners, and
+//! all of the above at extreme magnitudes.
+
+use cardir_geometry::{Point, Polygon, Region};
+use cardir_workloads::SplitMix64;
+
+/// One generated scenario: a named family plus its regions. The last
+/// region is the designated reference of the family's construction, but
+/// the checks run over *all* ordered pairs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Family name, for divergence reports.
+    pub family: &'static str,
+    /// The generated regions (at least two).
+    pub regions: Vec<Region>,
+}
+
+/// Half-units: coordinates are `k/2` with `k ∈ [-EXTENT, EXTENT]`.
+const EXTENT: i64 = 128;
+
+fn half(rng: &mut SplitMix64) -> f64 {
+    rng.random_range(-EXTENT..=EXTENT) as f64 / 2.0
+}
+
+/// A lattice coordinate that, half the time, *exactly* reuses one of the
+/// reference coordinates in `lines` — the engine of shared-line /
+/// touching-corner contact.
+fn anchored(rng: &mut SplitMix64, lines: &[f64]) -> f64 {
+    if !lines.is_empty() && rng.random_bool(0.5) {
+        lines[rng.random_range(0..lines.len())]
+    } else {
+        half(rng)
+    }
+}
+
+/// `[x0, y0, x1, y1]` with `x0 < x1`, `y0 < y1`.
+fn lattice_box(rng: &mut SplitMix64) -> [f64; 4] {
+    loop {
+        let (x0, x1) = (half(rng), half(rng));
+        let (y0, y1) = (half(rng), half(rng));
+        if x0 < x1 && y0 < y1 {
+            return [x0, y0, x1, y1];
+        }
+    }
+}
+
+/// A box whose edges are drawn from the anchor sets (terminates almost
+/// surely: `anchored` falls back to fresh lattice draws).
+fn anchored_box(rng: &mut SplitMix64, xs: &[f64], ys: &[f64]) -> [f64; 4] {
+    loop {
+        let (x0, x1) = (anchored(rng, xs), anchored(rng, xs));
+        let (y0, y1) = (anchored(rng, ys), anchored(rng, ys));
+        if x0 < x1 && y0 < y1 {
+            return [x0, y0, x1, y1];
+        }
+    }
+}
+
+fn rect_poly(b: [f64; 4]) -> Polygon {
+    Polygon::from_coords([(b[0], b[1]), (b[2], b[1]), (b[2], b[3]), (b[0], b[3])])
+        .expect("a proper lattice box is a valid polygon")
+}
+
+fn rect_region(b: [f64; 4]) -> Region {
+    Region::single(rect_poly(b))
+}
+
+/// Do the *interiors* of two boxes overlap? (Shared edges and corners
+/// are fine — `REG*` only requires disjoint interiors.)
+fn interiors_overlap(a: [f64; 4], b: [f64; 4]) -> bool {
+    a[0] < b[2] && b[0] < a[2] && a[1] < b[3] && b[1] < a[3]
+}
+
+/// A composite region of up to `count` anchored rectangles with pairwise
+/// disjoint interiors; boundary contact (shared edges, corners) between
+/// the member polygons is allowed and common.
+fn multi_rect_region(rng: &mut SplitMix64, count: usize, xs: &[f64], ys: &[f64]) -> Region {
+    let mut boxes = vec![anchored_box(rng, xs, ys)];
+    for _ in 1..count {
+        for _ in 0..8 {
+            let c = anchored_box(rng, xs, ys);
+            if !boxes.iter().any(|&b| interiors_overlap(b, c)) {
+                boxes.push(c);
+                break;
+            }
+        }
+    }
+    Region::new(boxes.into_iter().map(rect_poly)).expect("at least one box")
+}
+
+/// A rectangle outline with extra vertices inserted on its straight
+/// edges: consecutive collinear edges, some landing exactly on the
+/// reference's grid lines. Exercises the corner-merge and snapping logic
+/// of edge division where a vertex sits *on* a crossing.
+fn subdivided_rect(b: [f64; 4], xcuts: &[f64], ycuts: &[f64]) -> Polygon {
+    let mut xs: Vec<f64> = xcuts.iter().copied().filter(|&x| x > b[0] && x < b[2]).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let mut ys: Vec<f64> = ycuts.iter().copied().filter(|&y| y > b[1] && y < b[3]).collect();
+    ys.sort_by(f64::total_cmp);
+    ys.dedup();
+
+    let mut pts = Vec::new();
+    pts.push((b[0], b[1]));
+    pts.extend(xs.iter().map(|&x| (x, b[1]))); // south edge, west → east
+    pts.push((b[2], b[1]));
+    pts.extend(ys.iter().map(|&y| (b[2], y))); // east edge, south → north
+    pts.push((b[2], b[3]));
+    pts.extend(xs.iter().rev().map(|&x| (x, b[3]))); // north edge, east → west
+    pts.push((b[0], b[3]));
+    pts.extend(ys.iter().rev().map(|&y| (b[0], y))); // west edge, north → south
+    Polygon::from_coords(pts).expect("a subdivided proper box is a valid polygon")
+}
+
+/// A needle: a triangle half a lattice unit tall over a long base,
+/// optionally pinned exactly onto a reference line.
+fn needle_region(rng: &mut SplitMix64, xs: &[f64], ys: &[f64]) -> Region {
+    let y = anchored(rng, ys);
+    let (x0, x1) = loop {
+        let (a, b) = (anchored(rng, xs), anchored(rng, xs));
+        if a < b {
+            break (a, b);
+        }
+    };
+    let apex_x = anchored(rng, xs).clamp(x0, x1);
+    let dir = if rng.random_bool(0.5) { 0.5 } else { -0.5 };
+    // Vertical needles too: transpose half the time.
+    if rng.random_bool(0.5) {
+        Region::from_coords([(x0, y), (x1, y), (apex_x, y + dir)])
+            .expect("a needle has positive area")
+    } else {
+        Region::from_coords([(y, x0), (y, x1), (y + dir, apex_x)])
+            .expect("a needle has positive area")
+    }
+}
+
+/// Scales every coordinate by an exact power of two.
+fn scaled(region: &Region, s: f64) -> Region {
+    Region::new(region.polygons().iter().map(|p| {
+        Polygon::new(p.vertices().iter().map(|v| Point::new(v.x * s, v.y * s)))
+            .expect("pow-of-two scaling preserves validity")
+    }))
+    .expect("non-empty")
+}
+
+/// The four grid coordinates of a box: `[x-lines], [y-lines]`.
+fn grid_lines(b: [f64; 4]) -> ([f64; 2], [f64; 2]) {
+    ([b[0], b[2]], [b[1], b[3]])
+}
+
+/// Deterministically generates the scenario for `seed`.
+pub fn generate(seed: u64) -> Scenario {
+    let rng = &mut SplitMix64::seed_from_u64(seed);
+    let reference = lattice_box(rng);
+    let (xs, ys) = grid_lines(reference);
+
+    let family_idx = rng.random_range(0u32..6);
+    let (family, mut regions) = match family_idx {
+        0 => {
+            // Rectangles anchored to the reference grid: shared lines,
+            // touching corners, exact tile fills, straddles.
+            let primaries = rng.random_range(1usize..=3);
+            let mut rs: Vec<Region> =
+                (0..primaries).map(|_| rect_region(anchored_box(rng, &xs, &ys))).collect();
+            rs.push(rect_region(reference));
+            ("anchored-rects", rs)
+        }
+        1 => {
+            // Multi-polygon regions straddling tiles, members touching
+            // along edges and corners.
+            let a_count = rng.random_range(2usize..=4);
+            let a = multi_rect_region(rng, a_count, &xs, &ys);
+            let b_count = rng.random_range(1usize..=2);
+            let b = multi_rect_region(rng, b_count, &xs, &ys);
+            ("archipelago", vec![a, b, rect_region(reference)])
+        }
+        2 => {
+            // Needles: near-degenerate triangles lying on or crossing
+            // grid lines.
+            let n = rng.random_range(1usize..=2);
+            let mut rs: Vec<Region> = (0..n).map(|_| needle_region(rng, &xs, &ys)).collect();
+            rs.push(rect_region(reference));
+            ("needles", rs)
+        }
+        3 => {
+            // Rectilinear outlines with collinear consecutive edges; the
+            // cut positions include the reference's own grid lines, so
+            // vertices land exactly on crossings.
+            let outline = anchored_box(rng, &xs, &ys);
+            let mut xcuts = xs.to_vec();
+            let mut ycuts = ys.to_vec();
+            for _ in 0..rng.random_range(0usize..=3) {
+                xcuts.push(half(rng));
+                ycuts.push(half(rng));
+            }
+            let a = Region::single(subdivided_rect(outline, &xcuts, &ycuts));
+            ("collinear-staircase", vec![a, rect_region(reference)])
+        }
+        4 => {
+            // A square reference plus a triangle whose hypotenuse passes
+            // exactly through two opposite grid corners.
+            let side = rng.random_range(1i64..=60) as f64;
+            let sq = [reference[0], reference[1], reference[0] + side, reference[1] + side];
+            let s = rng.random_range(1i64..=20) as f64 / 2.0;
+            let tri = Region::from_coords([
+                (sq[0] - s, sq[1] - s),
+                (sq[2] + s, sq[3] + s),
+                (sq[2] + s, sq[1] - s),
+            ])
+            .expect("diagonal triangle has positive area");
+            ("corner-diagonal", vec![tri, rect_region(sq)])
+        }
+        _ => {
+            // Degenerate-MBB neighbours: primaries collapsed to a single
+            // row/column of the lattice (thin slivers half a unit wide)
+            // sharing lines with the reference.
+            let y = anchored(rng, &ys);
+            let sliver = [xs[0], y, xs[1], y + 0.5];
+            let mut rs = vec![rect_region(sliver)];
+            rs.push(rect_region(anchored_box(rng, &xs, &ys)));
+            rs.push(rect_region(reference));
+            ("slivers", rs)
+        }
+    };
+
+    // A quarter of scenarios run at extreme magnitudes; powers of two
+    // keep every coordinate exact.
+    match rng.random_range(0u32..8) {
+        0 => {
+            let s = 2f64.powi(40);
+            regions = regions.iter().map(|r| scaled(r, s)).collect();
+        }
+        1 => {
+            let s = 2f64.powi(-40);
+            regions = regions.iter().map(|r| scaled(r, s)).collect();
+        }
+        _ => {}
+    }
+
+    Scenario { family, regions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.regions, b.regions);
+        }
+    }
+
+    #[test]
+    fn every_family_appears_and_regions_are_valid() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let s = generate(seed);
+            seen.insert(s.family);
+            assert!(s.regions.len() >= 2, "seed {seed}");
+            for r in &s.regions {
+                assert!(r.area() > 0.0, "seed {seed}");
+                for p in r.polygons() {
+                    assert!(p.is_simple(), "seed {seed}: non-simple polygon");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 6, "families seen: {seen:?}");
+    }
+}

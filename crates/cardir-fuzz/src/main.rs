@@ -1,0 +1,49 @@
+//! CLI for the differential fuzzer.
+//!
+//! ```text
+//! cargo run -p cardir-fuzz -- --iters 500 --seed 1
+//! cargo run -p cardir-fuzz -- --seed 123456   # replay one divergence
+//! ```
+//!
+//! Exits non-zero when any divergence (or panic) is found, printing each
+//! one with its replay command.
+
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: cardir-fuzz [--seed N] [--iters M]");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut seed = 1u64;
+    let mut iters = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--seed" => seed = value(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--iters" => iters = value(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let report = cardir_fuzz::run(seed, iters);
+    for d in &report.divergences {
+        eprintln!("{d}\n");
+    }
+    println!(
+        "cardir-fuzz: {} iteration(s) from seed {}: {} divergence(s)",
+        report.iterations,
+        seed,
+        report.divergences.len()
+    );
+    if report.divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

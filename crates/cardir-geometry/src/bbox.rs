@@ -19,12 +19,53 @@ pub struct BoundingBox {
     pub max: Point,
 }
 
+/// Why a caller-supplied pair of corners does not form a bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundingBoxError {
+    /// A corner coordinate is NaN or infinite.
+    NonFinite { min: Point, max: Point },
+    /// `min > max` on some axis; such a pair denotes no rectangle.
+    /// (Degenerate boxes with `min == max` are accepted — a point or
+    /// segment is a legal, zero-area box.)
+    Inverted { min: Point, max: Point },
+}
+
+impl fmt::Display for BoundingBoxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundingBoxError::NonFinite { min, max } => {
+                write!(f, "bounding box corners {min}, {max} contain a non-finite coordinate")
+            }
+            BoundingBoxError::Inverted { min, max } => {
+                write!(f, "bounding box corners {min}, {max} are inverted (min > max)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundingBoxError {}
+
 impl BoundingBox {
     /// Creates a box from its corners. Panics in debug builds if inverted.
     #[inline]
     pub fn new(min: Point, max: Point) -> Self {
         debug_assert!(min.x <= max.x && min.y <= max.y, "inverted bounding box");
         BoundingBox { min, max }
+    }
+
+    /// Creates a box from its corners, validating them: every coordinate
+    /// must be finite and `min ≤ max` on both axes. The panic-free
+    /// counterpart of [`BoundingBox::new`] for corners that come from
+    /// outside the library's own invariant-preserving code (parsed files,
+    /// user input).
+    pub fn try_new(min: Point, max: Point) -> Result<Self, BoundingBoxError> {
+        if ![min.x, min.y, max.x, max.y].iter().all(|c| c.is_finite()) {
+            return Err(BoundingBoxError::NonFinite { min, max });
+        }
+        if min.x > max.x || min.y > max.y {
+            return Err(BoundingBoxError::Inverted { min, max });
+        }
+        Ok(BoundingBox { min, max })
     }
 
     /// Creates a box from any two opposite corners.
@@ -190,6 +231,27 @@ mod tests {
         let b = BoundingBox::from_points(pts).unwrap();
         assert_eq!(b, bb(-2.0, -1.0, 4.0, 5.0));
         assert!(BoundingBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn try_new_validates_corners() {
+        assert_eq!(
+            BoundingBox::try_new(pt(0.0, 0.0), pt(2.0, 2.0)),
+            Ok(bb(0.0, 0.0, 2.0, 2.0))
+        );
+        // Degenerate boxes are legal.
+        assert!(BoundingBox::try_new(pt(1.0, 1.0), pt(1.0, 1.0)).is_ok());
+        assert!(matches!(
+            BoundingBox::try_new(pt(f64::NAN, 0.0), pt(2.0, 2.0)),
+            Err(BoundingBoxError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            BoundingBox::try_new(pt(0.0, 0.0), pt(f64::INFINITY, 2.0)),
+            Err(BoundingBoxError::NonFinite { .. })
+        ));
+        let err = BoundingBox::try_new(pt(3.0, 0.0), pt(2.0, 2.0)).unwrap_err();
+        assert!(matches!(err, BoundingBoxError::Inverted { .. }));
+        assert!(err.to_string().contains("inverted"));
     }
 
     #[test]

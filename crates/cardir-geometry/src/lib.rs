@@ -44,7 +44,7 @@ pub mod segment;
 pub mod wkt;
 
 pub use band::{band_of, band_of_hinted, Band};
-pub use bbox::BoundingBox;
+pub use bbox::{BoundingBox, BoundingBoxError};
 pub use clip::{clip_polygon_half_plane, clip_polygon_tile, HalfPlane};
 pub use line::Line;
 pub use point::Point;

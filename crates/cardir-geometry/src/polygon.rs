@@ -168,8 +168,12 @@ impl Polygon {
     /// round-off tolerance scaled to the polygon's extent).
     pub fn on_boundary(&self, p: Point) -> bool {
         let bb = self.bounding_box();
-        let scale = bb.width().max(bb.height()).max(1.0);
-        let eps = 1e-12 * scale;
+        // Tolerance relative to the polygon's own extent (positive, since
+        // polygons have positive area). Flooring the scale at an absolute
+        // constant would make the tolerance larger than the whole polygon
+        // once coordinates shrink below it, turning faraway points into
+        // "boundary" points.
+        let eps = 1e-12 * bb.width().max(bb.height());
         self.edges().any(|e| e.contains_point(p, eps))
     }
 
@@ -416,5 +420,28 @@ mod tests {
         let r = Polygon::rectangle(bb).unwrap();
         assert_eq!(r.area(), 12.0);
         assert_eq!(r.bounding_box(), bb);
+    }
+
+    /// Fuzzer-found (cardir-fuzz seed 57): the boundary tolerance was
+    /// floored at an absolute constant, so for polygons smaller than
+    /// that floor every nearby point — including ones many polygon
+    /// diameters away — counted as "on the boundary".
+    #[test]
+    fn containment_stays_sharp_at_microscale() {
+        let s = 2f64.powi(-40);
+        let p = Polygon::from_coords([
+            (-31.0 * s, -64.0 * s),
+            (-31.0 * s, -63.5 * s),
+            (-30.5 * s, -64.0 * s),
+        ])
+        .unwrap();
+        let far = pt(14.25 * s, 32.25 * s); // way outside, still ~1e-11
+        assert!(!p.contains(far));
+        assert!(!p.on_boundary(far));
+        // The closed-set semantics survive: vertices and edge midpoints
+        // are inside, and so is the interior.
+        assert!(p.contains(pt(-31.0 * s, -64.0 * s)));
+        assert!(p.contains(pt(-30.75 * s, -64.0 * s)));
+        assert!(p.contains(pt(-30.9 * s, -63.9 * s)));
     }
 }

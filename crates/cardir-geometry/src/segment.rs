@@ -135,13 +135,19 @@ impl Segment {
     pub fn contains_point(self, p: Point, eps: f64) -> bool {
         let d = self.direction();
         let ap = p - self.a;
-        let cross = d.cross(ap);
-        let scale = d.norm().max(1.0);
-        if cross.abs() > eps * scale {
+        let len = d.norm();
+        if len == 0.0 {
+            return ap.norm() <= eps;
+        }
+        // `eps` is a distance: |cross|/|d| is the point's distance to the
+        // carrier line, so the threshold must scale by |d| alone — an
+        // absolute floor here would swallow entire segments shorter than
+        // the floor (micro-scale geometry).
+        if d.cross(ap).abs() > eps * len {
             return false;
         }
         let t = ap.dot(d);
-        (-eps * scale..=d.norm_sq() + eps * scale).contains(&t)
+        (-eps * len..=d.norm_sq() + eps * len).contains(&t)
     }
 }
 

@@ -17,4 +17,9 @@ trap 'rm -f "$bench_json"' EXIT
 cargo run --release --offline -p cardir-bench --bin engine_throughput -- 100 --json "$bench_json" > /dev/null
 cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json"
 
+# Differential-fuzz smoke: 500 deterministic adversarial scenarios
+# cross-checked across the whole stack; any divergence or panic fails the
+# gate and prints its replayable seed.
+cargo run --offline -p cardir-fuzz -- --iters 500 --seed 1
+
 echo "ci: all green"

@@ -45,6 +45,8 @@
 //! assert_eq!(matrix.to_string(), "0% 0% 50%\n0% 0% 50%\n0% 0% 0%");
 //! ```
 
+pub mod error;
+
 pub use cardir_cardirect as cardirect;
 pub use cardir_core as core;
 pub use cardir_engine as engine;
@@ -55,3 +57,5 @@ pub use cardir_reasoning as reasoning;
 pub use cardir_segment as segment;
 pub use cardir_telemetry as telemetry;
 pub use cardir_workloads as workloads;
+
+pub use error::CardirError;

@@ -9,8 +9,9 @@ use cardir::engine::{BatchEngine, EngineMode, RegionCache};
 use cardir::geometry::{BoundingBox, Point, Region};
 use cardir::workloads::{archipelago, random_map, RegionSpec, SplitMix64};
 
-/// Checks one region family: engine output at 1, 2, and 4 threads is
-/// bit-identical to the naive loop, in both modes.
+/// Checks one region family: engine output at 1, 2, and 4 threads — with
+/// the MBB prefilter enabled *and* disabled — is bit-identical to the
+/// naive loop, in both modes.
 fn assert_engine_matches_naive(regions: &[Region], family: &str) {
     let cache = RegionCache::build(regions);
     for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
@@ -26,22 +27,32 @@ fn assert_engine_matches_naive(regions: &[Region], family: &str) {
             }
         }
         for threads in [1usize, 2, 4] {
-            let result =
-                BatchEngine::new().with_mode(mode).with_threads(threads).compute_all(&cache);
-            assert_eq!(result.pairs.len(), naive.len(), "{family}, {mode:?}, {threads} threads");
-            assert_eq!(result.stats.pairs, naive.len());
-            for (got, (i, j, rel, pct)) in result.pairs.iter().zip(&naive) {
-                assert_eq!(
-                    (got.primary, got.reference),
-                    (*i, *j),
-                    "{family}, {mode:?}, {threads} threads: order must be primary-major"
-                );
-                assert_eq!(got.relation, *rel, "{family}, {mode:?}, {threads} threads, pair ({i}, {j})");
-                assert_eq!(
-                    got.percentages, *pct,
-                    "{family}, {mode:?}, {threads} threads, pair ({i}, {j}): \
-                     percentage matrices must be bit-identical"
-                );
+            for prefilter in [true, false] {
+                let label = format!("{family}, {mode:?}, {threads} threads, prefilter={prefilter}");
+                let result = BatchEngine::new()
+                    .with_mode(mode)
+                    .with_threads(threads)
+                    .with_prefilter(prefilter)
+                    .compute_all(&cache);
+                assert_eq!(result.pairs.len(), naive.len(), "{label}");
+                assert_eq!(result.stats.pairs, naive.len());
+                if !prefilter {
+                    assert_eq!(result.stats.prefilter_hits, 0, "{label}");
+                    assert_eq!(result.stats.exact_pairs, naive.len(), "{label}");
+                }
+                for (got, (i, j, rel, pct)) in result.pairs.iter().zip(&naive) {
+                    assert_eq!(
+                        (got.primary, got.reference),
+                        (*i, *j),
+                        "{label}: order must be primary-major"
+                    );
+                    assert_eq!(got.relation, *rel, "{label}, pair ({i}, {j})");
+                    assert_eq!(
+                        got.percentages, *pct,
+                        "{label}, pair ({i}, {j}): \
+                         percentage matrices must be bit-identical"
+                    );
+                }
             }
         }
     }
@@ -87,6 +98,29 @@ fn archipelagos_bit_identical_across_threads() {
         })
         .collect();
     assert_engine_matches_naive(&regions, "archipelago");
+}
+
+/// Family 4: MBB boundary contact — every pair shares a grid line or a
+/// corner with some neighbour, the exact configurations where the
+/// prefilter must *decline* to decide. Prefilter on and off must agree
+/// bit for bit (the strictness of the short-circuit is what this pins).
+#[test]
+fn shared_mbb_edges_and_corners_bit_identical_with_and_without_prefilter() {
+    let rect = |x0: f64, y0: f64, x1: f64, y1: f64| {
+        Region::from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]).unwrap()
+    };
+    let regions = vec![
+        rect(0.0, 0.0, 4.0, 4.0),   // the reference square
+        rect(4.0, 0.0, 8.0, 4.0),   // shares the full east edge
+        rect(0.0, 4.0, 4.0, 8.0),   // shares the full north edge
+        rect(4.0, 4.0, 8.0, 8.0),   // touches only the NE corner
+        rect(-4.0, -4.0, 0.0, 0.0), // touches only the SW corner
+        rect(1.0, 4.0, 3.0, 6.0),   // sits on the north line, inside its span
+        rect(-2.0, 2.0, 0.0, 3.0),  // sits on the west line
+        rect(0.0, 0.0, 4.0, 4.0),   // exact duplicate of the reference
+        rect(2.0, 2.0, 6.0, 6.0),   // straddles the NE corner
+    ];
+    assert_engine_matches_naive(&regions, "shared mbb edges/corners");
 }
 
 /// The engine's selected-pairs entry point agrees with the naive
