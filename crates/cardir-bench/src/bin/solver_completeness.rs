@@ -1,4 +1,4 @@
-//! E10/DESIGN §8 — empirical completeness of the consistency solver.
+//! E10/DESIGN §9 — empirical completeness of the consistency solver.
 //!
 //! The solver's refutations are exact, and its "consistent" answers carry
 //! machine-verified witnesses; the documented gap is `Unknown` (no

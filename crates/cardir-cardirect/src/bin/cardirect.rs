@@ -11,6 +11,7 @@
 //! ```
 
 use cardir_cardirect::{evaluate, from_xml, parse_query, to_xml, Configuration};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -45,17 +46,22 @@ fn run(args: &[String]) -> Result<String, String> {
             let path = args.get(1).ok_or("compute needs an input file")?;
             let mut config = load(path)?;
             config.compute_all_relations();
-            let xml = to_xml(&config);
             match args.get(2) {
                 Some(out) => {
-                    std::fs::write(out, &xml).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    // Crash-safe save: write-temp/fsync/rename plus a
+                    // `.bak` generation — never an in-place overwrite.
+                    let report = config
+                        .save_to(Path::new(out))
+                        .map_err(|e| format!("cannot write {out}: {e}"))?;
                     Ok(format!(
-                        "computed {} relations over {} regions → {out}\n",
+                        "computed {} relations over {} regions → {out} ({} bytes{})\n",
                         config.relations().len(),
-                        config.len()
+                        config.len(),
+                        report.bytes,
+                        if report.backup_created { ", previous kept as .bak" } else { "" }
                     ))
                 }
-                None => Ok(xml),
+                None => Ok(to_xml(&config)),
             }
         }
         Some("query") => {

@@ -43,4 +43,7 @@ pub use query::{
     evaluate, evaluate_indexed, evaluate_indexed_with_stats, evaluate_with_stats, parse_query,
     Binding, EvalError, EvalStats, LexError, Query, QueryParseError, RegionIndex,
 };
-pub use xml::{from_xml, to_xml, XmlError};
+pub use xml::{
+    from_xml, load_config, save_xml_atomic, to_xml, LoadSource, Loaded, PersistError, SaveReport,
+    XmlError,
+};

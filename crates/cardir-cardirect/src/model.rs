@@ -305,6 +305,21 @@ impl Configuration {
             .ok_or_else(|| ConfigError::UnknownId(reference.to_string()))?;
         Ok(compute_cdr_pct(&p.region, &q.region))
     }
+
+    /// Saves this configuration to `path` with the crash-safe atomic
+    /// protocol ([`save_xml_atomic`](crate::xml::save_xml_atomic)):
+    /// write-temp / fsync / `.bak` generation / rename. A crash at any
+    /// point leaves a loadable file on disk.
+    pub fn save_to(&self, path: &std::path::Path) -> Result<crate::xml::SaveReport, crate::xml::PersistError> {
+        crate::xml::save_xml_atomic(self, path)
+    }
+
+    /// Loads a configuration from `path`, recovering from the `.bak`
+    /// generation when the primary is missing or torn
+    /// ([`load_config`](crate::xml::load_config)).
+    pub fn load_from(path: &std::path::Path) -> Result<crate::xml::Loaded, crate::xml::PersistError> {
+        crate::xml::load_config(path)
+    }
 }
 
 #[cfg(test)]

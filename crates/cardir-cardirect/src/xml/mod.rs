@@ -23,11 +23,21 @@
 //! predefined entities. Unsupported (and unneeded by the DTD): CDATA
 //! sections, processing instructions beyond the prolog, namespaces,
 //! DOCTYPE internal subsets.
+//!
+//! On-disk durability is the persist module's job:
+//! [`save_xml_atomic`] never overwrites a configuration in place
+//! (write-temp / fsync / backup / rename), and [`load_config`] recovers
+//! from a torn primary via the `.bak` generation.
 
 mod escape;
 mod parser;
+mod persist;
 mod schema;
 
 pub use escape::{escape_attribute, escape_text, unescape};
 pub use parser::{parse_events, Event, ParseError, Parser};
+pub use persist::{
+    backup_path, load_config, save_xml_atomic, temp_path, LoadSource, Loaded, PersistError,
+    SaveReport,
+};
 pub use schema::{from_xml, to_xml, XmlError};

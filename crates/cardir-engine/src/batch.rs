@@ -14,16 +14,35 @@
 //!    back tagged with its index. Sorting the finished chunks by index
 //!    restores exact input order, so the output is bit-identical no
 //!    matter how many workers ran or how the scheduler interleaved them.
+//!
+//! Every run executes under a [`RunPolicy`]: each pair attempt is wrapped
+//! in `catch_unwind` (so one poisoned pair becomes a
+//! [`PairOutcome::Failed`] instead of aborting the batch), transient
+//! failures retry with bounded deterministic backoff, and deadline /
+//! cancellation checks run cooperatively between chunks. The plain entry
+//! points ([`BatchEngine::compute_all`], [`BatchEngine::compute_pairs`])
+//! use the default policy and re-raise the first failure after the rest
+//! of the batch has finished; the policy-aware entry points
+//! ([`BatchEngine::run_all`], [`BatchEngine::run_pairs`]) return the full
+//! [`BatchOutcome`] accounting instead. Fault injection for tests rides
+//! on `cardir-faults` failpoints (`engine.pair.compute`,
+//! `engine.chunk.claim`, `engine.cache.insert`), which compile to a
+//! single relaxed atomic load when unarmed.
 
 use crate::cache::RegionCache;
 use crate::metrics::EngineMetrics;
+use crate::policy::{
+    BatchOutcome, CompletionStatus, FaultTally, PairError, PairFailure, PairOutcome, RunPolicy,
+};
 use crate::prefilter::{decided_tile, exact_mask, ExactMask};
 use cardir_core::{
     compute_cdr_with_mbb, tile_areas_with_mbb, CardinalRelation, PercentageMatrix, Tile, TileAreas,
 };
+use cardir_faults::{sites, FaultAction};
 use cardir_telemetry::{Histogram, DURATION_BOUNDS_NS};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// What the engine computes per pair.
@@ -235,19 +254,26 @@ impl BatchEngine {
     /// Computes every ordered pair `(i, j)`, `i ≠ j`, in primary-major
     /// order: all references for primary 0, then primary 1, and so on —
     /// the iteration order of a naive double loop.
+    ///
+    /// Runs under the default [`RunPolicy`] (panic isolation on, no
+    /// retries, no deadline): a panicking pair no longer aborts the
+    /// worker scope mid-batch — every other pair still computes, and the
+    /// first failure is re-raised once the batch has finished. Callers
+    /// that want the surviving results instead should use
+    /// [`BatchEngine::run_all`].
     pub fn compute_all(&self, cache: &RegionCache<'_>) -> BatchResult {
+        expect_complete(self.run_all(cache, &RunPolicy::default()))
+    }
+
+    /// Policy-aware [`BatchEngine::compute_all`]: computes every ordered
+    /// pair under `policy` and reports one [`PairOutcome`] per pair plus
+    /// a [`CompletionStatus`] instead of promising a relation for
+    /// everything. With the default policy the successful relations are
+    /// bit-identical to [`BatchEngine::compute_all`].
+    pub fn run_all(&self, cache: &RegionCache<'_>, policy: &RunPolicy) -> BatchOutcome {
         let n = cache.len();
         if n < 2 {
-            let stats = BatchStats { threads: self.threads, ..BatchStats::default() };
-            return BatchResult {
-                pairs: Vec::new(),
-                stats,
-                metrics: EngineMetrics {
-                    stats,
-                    cache_build: cache.build_time(),
-                    ..EngineMetrics::default()
-                },
-            };
+            return self.empty_outcome(cache);
         }
         let mask_start = Instant::now();
         // With the prefilter disabled, zero-length masks answer
@@ -266,7 +292,7 @@ impl BatchEngine {
             let r = k % (n - 1);
             (i, r + usize::from(r >= i))
         };
-        self.run(cache, &masks, total, pair_at, mask_build)
+        self.run(cache, &masks, total, pair_at, mask_build, policy)
     }
 
     /// Computes an explicit list of ordered pairs (e.g. the candidates a
@@ -292,6 +318,19 @@ impl BatchEngine {
         cache: &RegionCache<'_>,
         pairs: &[(usize, usize)],
     ) -> Result<BatchResult, EngineError> {
+        Ok(expect_complete(self.run_pairs(cache, pairs, &RunPolicy::default())?))
+    }
+
+    /// Policy-aware [`BatchEngine::compute_pairs`]: computes an explicit
+    /// pair list under `policy`, reporting per-pair outcomes and the
+    /// completion status. Pre-validates indices like
+    /// [`BatchEngine::try_compute_pairs`].
+    pub fn run_pairs(
+        &self,
+        cache: &RegionCache<'_>,
+        pairs: &[(usize, usize)],
+        policy: &RunPolicy,
+    ) -> Result<BatchOutcome, EngineError> {
         let n = cache.len();
         if let Some(&pair) = pairs.iter().find(|&&(i, j)| i >= n || j >= n) {
             return Err(EngineError::PairOutOfBounds { pair, len: n });
@@ -312,10 +351,33 @@ impl BatchEngine {
         let masks: Vec<ExactMask> =
             masks.into_iter().map(|m| m.unwrap_or_else(|| ExactMask::new(0))).collect();
         let mask_build = mask_start.elapsed();
-        Ok(self.run(cache, &masks, pairs.len(), |k| pairs[k], mask_build))
+        Ok(self.run(cache, &masks, pairs.len(), |k| pairs[k], mask_build, policy))
     }
 
-    /// The chunked parallel driver shared by both entry points.
+    /// The outcome of a run over fewer than two regions (or zero pairs).
+    fn empty_outcome(&self, cache: &RegionCache<'_>) -> BatchOutcome {
+        let stats = BatchStats { threads: self.threads, ..BatchStats::default() };
+        BatchOutcome {
+            pairs: Vec::new(),
+            status: CompletionStatus::Complete,
+            succeeded: 0,
+            failed: 0,
+            skipped: 0,
+            stats,
+            metrics: EngineMetrics {
+                stats,
+                cache_build: cache.build_time(),
+                ..EngineMetrics::default()
+            },
+        }
+    }
+
+    /// The chunked parallel driver shared by every entry point.
+    ///
+    /// Workers re-check the cancel token and the deadline before claiming
+    /// each chunk; chunks never claimed are assembled as
+    /// [`PairOutcome::Skipped`] in their input-order slots, so the output
+    /// vector always has one entry per requested pair.
     fn run<F>(
         &self,
         cache: &RegionCache<'_>,
@@ -323,35 +385,61 @@ impl BatchEngine {
         total: usize,
         pair_at: F,
         mask_build: Duration,
-    ) -> BatchResult
+        policy: &RunPolicy,
+    ) -> BatchOutcome
     where
         F: Fn(usize) -> (usize, usize) + Sync,
     {
         let n_chunks = total.div_ceil(CHUNK).max(1);
         let workers = self.threads.min(n_chunks);
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, Vec<PairRelation>, Tally)>> =
+        let done: Mutex<Vec<(usize, Vec<PairOutcome>, Tally)>> =
             Mutex::new(Vec::with_capacity(n_chunks));
         let per_thread: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
         let chunk_hist =
             self.detailed_metrics.then(|| Histogram::new_detached(&DURATION_BOUNDS_NS));
         let mode = self.mode;
+        let deadline_hits = AtomicUsize::new(0);
+        let cancel_hits = AtomicUsize::new(0);
 
         let exact_start = Instant::now();
+        let deadline_at = policy.deadline.and_then(|d| exact_start.checked_add(d));
         {
             let next = &next;
             let done = &done;
             let per_thread = &per_thread[..];
             let chunk_hist = chunk_hist.as_ref();
             let pair_at = &pair_at;
+            let deadline_hits = &deadline_hits;
+            let cancel_hits = &cancel_hits;
             std::thread::scope(|s| {
                 for my_pairs in per_thread {
                     s.spawn(move || {
                         let mut worker_pairs = 0usize;
                         loop {
+                            // Cooperative stop checks, between chunks only
+                            // — claimed chunks always run to completion.
+                            if let Some(token) = &policy.cancel {
+                                if token.is_cancelled() {
+                                    cancel_hits.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            if let Some(t) = deadline_at {
+                                if Instant::now() >= t {
+                                    deadline_hits.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= n_chunks {
                                 break;
+                            }
+                            // Failpoint: a slow tenant stalling a worker.
+                            if let Some(FaultAction::Delay(d)) =
+                                cardir_faults::hit(sites::ENGINE_CHUNK_CLAIM)
+                            {
+                                std::thread::sleep(d);
                             }
                             let chunk_start = chunk_hist.map(|_| Instant::now());
                             let start = c * CHUNK;
@@ -360,14 +448,17 @@ impl BatchEngine {
                             let mut tally = Tally::default();
                             for k in start..end {
                                 let (i, j) = pair_at(k);
-                                local.push(compute_pair(cache, &masks[j], i, j, mode, &mut tally));
+                                local.push(run_pair(cache, &masks[j], i, j, mode, policy, &mut tally));
                             }
                             worker_pairs += end - start;
                             if let (Some(h), Some(t0)) = (chunk_hist, chunk_start) {
                                 h.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                             }
+                            // With panic isolation off, an unwinding
+                            // worker can poison this lock; recover the
+                            // data rather than cascading the panic.
                             done.lock()
-                                .expect("worker panicked holding the lock")
+                                .unwrap_or_else(PoisonError::into_inner)
                                 .push((c, local, tally));
                         }
                         my_pairs.store(worker_pairs, Ordering::Relaxed);
@@ -377,20 +468,57 @@ impl BatchEngine {
         }
         let exact_pass = exact_start.elapsed();
 
-        let mut chunks = done.into_inner().expect("worker panicked holding the lock");
-        chunks.sort_unstable_by_key(|&(c, _, _)| c);
-        let mut pairs = Vec::with_capacity(total);
+        // Assemble in input order, filling never-claimed chunks with
+        // `Skipped` slots.
+        let mut slots: Vec<Option<Vec<PairOutcome>>> = (0..n_chunks).map(|_| None).collect();
         let mut totals = Tally::default();
-        for (_, local, tally) in chunks {
-            pairs.extend(local);
+        for (c, local, tally) in done.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            slots[c] = Some(local);
             totals.hits += tally.hits;
             totals.edges_scanned += tally.edges_scanned;
+            totals.faults.merge(&tally.faults);
         }
+        let mut pairs = Vec::with_capacity(total);
+        let mut skipped = 0usize;
+        for (c, slot) in slots.iter_mut().enumerate() {
+            match slot.take() {
+                Some(local) => pairs.extend(local),
+                None => {
+                    let start = c * CHUNK;
+                    let end = (start + CHUNK).min(total);
+                    for k in start..end {
+                        let (i, j) = pair_at(k);
+                        pairs.push(PairOutcome::Skipped { primary: i, reference: j });
+                    }
+                    skipped += end - start;
+                }
+            }
+        }
+        let failed = totals.faults.failed_pairs;
+        let succeeded = total - failed - skipped;
+        totals.faults.skipped_pairs = skipped;
+        totals.faults.deadline_hits = deadline_hits.load(Ordering::Relaxed);
+        totals.faults.cancel_hits = cancel_hits.load(Ordering::Relaxed);
+
+        let status = if skipped > 0 {
+            if totals.faults.cancel_hits > 0 {
+                CompletionStatus::Cancelled
+            } else {
+                CompletionStatus::DeadlineExceeded
+            }
+        } else if failed > 0 {
+            CompletionStatus::PartialPanics
+        } else {
+            CompletionStatus::Complete
+        };
+
         let stats = BatchStats {
             pairs: total,
             prefilter_hits: totals.hits,
             threads: workers,
-            exact_pairs: total - totals.hits,
+            // Successful pairs that took the exact edge-division path;
+            // failed and skipped pairs count in neither bucket.
+            exact_pairs: succeeded - totals.hits,
             edges_scanned: totals.edges_scanned,
             rtree_candidates: masks.iter().map(ExactMask::candidates).sum(),
         };
@@ -401,9 +529,106 @@ impl BatchEngine {
             exact_pass,
             per_thread_pairs: per_thread.iter().map(|p| p.load(Ordering::Relaxed)).collect(),
             chunk_durations_ns: chunk_hist.map(|h| h.snapshot()),
+            faults: totals.faults,
         };
-        BatchResult { pairs, stats, metrics }
+        BatchOutcome { pairs, status, succeeded, failed, skipped, stats, metrics }
     }
+}
+
+/// Converts a default-policy outcome into the infallible [`BatchResult`]
+/// shape, re-raising the first failure (after the whole batch ran — the
+/// panic-isolation fix means other pairs are no longer lost to a poisoned
+/// worker scope, even though this legacy shape cannot carry them).
+fn expect_complete(outcome: BatchOutcome) -> BatchResult {
+    let mut pairs = Vec::with_capacity(outcome.pairs.len());
+    for outcome_pair in outcome.pairs {
+        match outcome_pair {
+            PairOutcome::Ok(pr) => pairs.push(pr),
+            PairOutcome::Failed(e) => panic!("{e}"),
+            PairOutcome::Skipped { .. } => {
+                unreachable!("the default policy has no deadline and no cancel token")
+            }
+        }
+    }
+    BatchResult { pairs, stats: outcome.stats, metrics: outcome.metrics }
+}
+
+/// Runs one pair under the policy: failpoint injection, panic isolation,
+/// and the bounded retry loop. Never panics while isolation is on.
+fn run_pair(
+    cache: &RegionCache<'_>,
+    mask: &ExactMask,
+    i: usize,
+    j: usize,
+    mode: EngineMode,
+    policy: &RunPolicy,
+    tally: &mut Tally,
+) -> PairOutcome {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = if policy.panic_isolation {
+            match catch_unwind(AssertUnwindSafe(|| attempt_pair(cache, mask, i, j, mode, tally))) {
+                Ok(r) => r,
+                Err(payload) => {
+                    tally.faults.panics_caught += 1;
+                    Err(PairFailure::Panicked(cardir_faults::panic_message(payload)))
+                }
+            }
+        } else {
+            attempt_pair(cache, mask, i, j, mode, tally)
+        };
+        match result {
+            Ok(pr) => return PairOutcome::Ok(pr),
+            Err(failure) => {
+                if matches!(failure, PairFailure::Injected(_)) {
+                    tally.faults.injected_failures += 1;
+                }
+                if attempt <= policy.retries {
+                    tally.faults.retries += 1;
+                    let delay = policy.backoff_delay(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                } else {
+                    tally.faults.failed_pairs += 1;
+                    return PairOutcome::Failed(PairError {
+                        primary: i,
+                        reference: j,
+                        failure,
+                        attempts: attempt,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One pair attempt: the `engine.pair.compute` failpoint, then the real
+/// computation. Runs inside the isolation boundary, so an injected panic
+/// behaves exactly like a real one.
+fn attempt_pair(
+    cache: &RegionCache<'_>,
+    mask: &ExactMask,
+    i: usize,
+    j: usize,
+    mode: EngineMode,
+    tally: &mut Tally,
+) -> Result<PairRelation, PairFailure> {
+    match cardir_faults::hit(sites::ENGINE_PAIR_COMPUTE) {
+        Some(FaultAction::Panic(msg)) => {
+            panic!("injected panic at {}: {msg}", sites::ENGINE_PAIR_COMPUTE)
+        }
+        Some(FaultAction::Error(msg)) | Some(FaultAction::IoError(msg)) => {
+            return Err(PairFailure::Injected(msg))
+        }
+        Some(FaultAction::TornWrite(_)) => {
+            return Err(PairFailure::Injected("torn write at a compute site".into()))
+        }
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        None => {}
+    }
+    Ok(compute_pair(cache, mask, i, j, mode, tally))
 }
 
 /// Per-chunk counter block carried back with each finished chunk.
@@ -413,6 +638,8 @@ struct Tally {
     hits: usize,
     /// Primary edges scanned by exact computations.
     edges_scanned: usize,
+    /// Fault events observed while computing this chunk.
+    faults: FaultTally,
 }
 
 /// Computes one ordered pair, taking the MBB short-circuit when sound,

@@ -42,6 +42,17 @@ impl<'a> RegionCache<'a> {
         let edges: Vec<Vec<Segment>> = regions.iter().map(|r| r.edges().collect()).collect();
         let mut rtree = RTree::new();
         for (i, mbb) in mbbs.iter().enumerate() {
+            // Failpoint: a corrupt geometry blowing up mid-index-build.
+            match cardir_faults::hit(cardir_faults::sites::ENGINE_CACHE_INSERT) {
+                Some(cardir_faults::FaultAction::Panic(msg)) => {
+                    panic!(
+                        "injected panic at {}: {msg}",
+                        cardir_faults::sites::ENGINE_CACHE_INSERT
+                    )
+                }
+                Some(cardir_faults::FaultAction::Delay(d)) => std::thread::sleep(d),
+                _ => {}
+            }
             rtree.insert(*mbb, i);
         }
         let build_time = start.elapsed();

@@ -23,13 +23,25 @@
 //! Every run also reports its own cost: the always-on counter block
 //! [`BatchStats`] plus the stage-timing layer [`EngineMetrics`], which
 //! exports into a `cardir-telemetry` registry for rendering.
+//!
+//! Runs are fault tolerant: a [`RunPolicy`] adds per-pair panic
+//! isolation, bounded deterministic retries, and cooperative
+//! deadline/cancellation, and [`BatchOutcome`] reports per-pair
+//! success/failure plus a [`CompletionStatus`] instead of promising a
+//! relation for every pair. Failure paths are testable deterministically
+//! through the `cardir-faults` failpoint registry.
 
 pub mod batch;
 pub mod cache;
 pub mod metrics;
+pub mod policy;
 pub mod prefilter;
 
 pub use batch::{BatchEngine, BatchResult, BatchStats, EngineError, EngineMode, PairRelation};
 pub use cache::RegionCache;
 pub use metrics::EngineMetrics;
+pub use policy::{
+    BatchOutcome, CancelToken, CompletionStatus, FaultTally, PairError, PairFailure, PairOutcome,
+    RunPolicy,
+};
 pub use prefilter::{decided_tile, exact_mask, ExactMask};

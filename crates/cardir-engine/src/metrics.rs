@@ -10,6 +10,7 @@
 //! human report or JSON lines.
 
 use crate::batch::BatchStats;
+use crate::policy::FaultTally;
 use cardir_telemetry::{HistogramSnapshot, Registry, COUNT_BOUNDS, DURATION_BOUNDS_NS};
 use std::time::Duration;
 
@@ -33,6 +34,10 @@ pub struct EngineMetrics {
     /// `None` unless the engine ran with
     /// [`with_detailed_metrics(true)`](crate::BatchEngine::with_detailed_metrics).
     pub chunk_durations_ns: Option<HistogramSnapshot>,
+    /// Fault events observed during this run: panics caught, injected
+    /// failures, retries, failed/skipped pairs, deadline/cancel stops.
+    /// All-zero ([`FaultTally::is_clean`]) on a healthy run.
+    pub faults: FaultTally,
 }
 
 impl EngineMetrics {
@@ -78,6 +83,24 @@ impl EngineMetrics {
         if let Some(chunks) = &self.chunk_durations_ns {
             registry.histogram("engine.chunk_ns", &chunks.bounds).absorb(chunks);
         }
+        if !self.faults.is_clean() {
+            for (name, value) in [
+                ("engine.faults.panics_caught", self.faults.panics_caught),
+                ("engine.faults.injected_failures", self.faults.injected_failures),
+                ("engine.faults.retries", self.faults.retries),
+                ("engine.faults.failed_pairs", self.faults.failed_pairs),
+                ("engine.faults.skipped_pairs", self.faults.skipped_pairs),
+                ("engine.faults.deadline_hits", self.faults.deadline_hits),
+                ("engine.faults.cancel_hits", self.faults.cancel_hits),
+            ] {
+                if value > 0 {
+                    registry.counter(name).add(value as u64);
+                }
+            }
+        }
+        // Fold in whatever the failpoint registry injected since the last
+        // export (a no-op when fault injection never ran).
+        cardir_faults::export(registry);
     }
 }
 
@@ -111,6 +134,7 @@ mod tests {
             exact_pass: Duration::from_micros(40),
             per_thread_pairs: vec![6, 4],
             chunk_durations_ns: None,
+            faults: FaultTally::default(),
         };
         let registry = Registry::new();
         m.export(&registry);

@@ -1,0 +1,497 @@
+//! Deterministic failpoint injection — standard library only, like
+//! everything else in the tree.
+//!
+//! A **failpoint** is a named site compiled into production code
+//! (`engine.pair.compute`, `xml.write.flush`, …) where a fault can be
+//! injected on demand: a panic, an error, added latency, or a short
+//! write. Sites cost a single relaxed atomic load when nothing is armed,
+//! so they stay in release builds; tests and the differential fuzzer arm
+//! them to prove the batch pipeline and the persistence layer degrade
+//! gracefully instead of aborting or corrupting state.
+//!
+//! The registry is process-global (sites fire deep inside worker threads
+//! that no handle can reach), so tests that arm failpoints must
+//! serialise among themselves — integration-test binaries are separate
+//! processes, which keeps suites isolated from each other for free.
+//!
+//! # Example
+//!
+//! ```
+//! use cardir_faults::{arm, hit, FaultAction, Trigger};
+//!
+//! // Nothing armed: the site is a no-op check.
+//! assert_eq!(hit("doc.example"), None);
+//!
+//! // Arm the site to error on its first two hits, then pass.
+//! let guard = arm(
+//!     "doc.example",
+//!     FaultAction::Error("injected".into()),
+//!     Trigger::Times(2),
+//! );
+//! assert!(hit("doc.example").is_some());
+//! assert!(hit("doc.example").is_some());
+//! assert_eq!(hit("doc.example"), None);
+//!
+//! drop(guard); // disarms on drop
+//! assert_eq!(hit("doc.example"), None);
+//! ```
+
+use cardir_telemetry::Registry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// The catalogue of failpoint sites compiled into the workspace. Arm any
+/// of these by name; the constant doubles as documentation of where the
+/// site sits and which actions it honours.
+pub mod sites {
+    /// Per pair attempt, before any computation, inside the panic
+    /// isolation boundary of the batch engine. Honours every action.
+    pub const ENGINE_PAIR_COMPUTE: &str = "engine.pair.compute";
+    /// Per work-queue chunk claim in a batch worker. Honours `Delay`
+    /// (simulates a slow tenant); other actions are ignored.
+    pub const ENGINE_CHUNK_CLAIM: &str = "engine.chunk.claim";
+    /// Per region inserted while building a `RegionCache`. Honours
+    /// `Delay` and `Panic`; errors are ignored (the build is infallible).
+    pub const ENGINE_CACHE_INSERT: &str = "engine.cache.insert";
+    /// Creating the temporary file of an atomic XML save. Honours
+    /// `IoError`/`Error`, `Delay`, `Panic`.
+    pub const XML_WRITE_CREATE: &str = "xml.write.create";
+    /// Writing the XML payload. Honours `TornWrite` (short write, then
+    /// fail), `IoError`/`Error`, `Delay`, `Panic` (kill mid-stream).
+    pub const XML_WRITE_DATA: &str = "xml.write.data";
+    /// Flushing/fsyncing the temporary file. Honours `IoError`/`Error`,
+    /// `Delay`, `Panic`.
+    pub const XML_WRITE_FLUSH: &str = "xml.write.flush";
+    /// Copying the current primary to its `.bak` generation. Honours
+    /// `IoError`/`Error`, `Delay`, `Panic`.
+    pub const XML_WRITE_BACKUP: &str = "xml.write.backup";
+    /// Renaming the temporary file over the primary. Honours
+    /// `IoError`/`Error`, `Delay`, `Panic`.
+    pub const XML_WRITE_RENAME: &str = "xml.write.rename";
+    /// Reading the primary file on load. Honours `IoError`/`Error`
+    /// (simulates an unreadable primary, forcing backup recovery),
+    /// `Delay`, `Panic`.
+    pub const XML_READ_PRIMARY: &str = "xml.read.primary";
+}
+
+/// What an armed failpoint injects when it fires. The site decides how to
+/// interpret the action (a compute site maps `Error` to its own error
+/// type, a write site maps `TornWrite` to a short write); actions a site
+/// does not honour are ignored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with this message (exercises panic isolation / mid-stream
+    /// kills).
+    Panic(String),
+    /// Fail with this message via the site's error path.
+    Error(String),
+    /// Sleep for this long, then proceed normally (slow tenant).
+    Delay(Duration),
+    /// Fail with an injected `std::io::Error`-shaped fault.
+    IoError(String),
+    /// Write only the first `n` bytes of the payload, then fail — a torn
+    /// write. Only meaningful at write sites.
+    TornWrite(usize),
+}
+
+/// When an armed site actually fires. Hit counting is per site and starts
+/// at 1 on the first [`hit`] after arming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire on every hit.
+    Always,
+    /// Fire on the first `n` hits, then pass.
+    Times(u64),
+    /// Fire on exactly the `n`-th hit (1-based), pass otherwise.
+    Nth(u64),
+    /// Fire on roughly `num/den` of hits, decided by a SplitMix64 stream
+    /// seeded with `seed` — the same seed replays the same firing
+    /// pattern exactly.
+    Probability {
+        /// Numerator of the firing ratio.
+        num: u32,
+        /// Denominator of the firing ratio (must be non-zero).
+        den: u32,
+        /// Seed of the deterministic decision stream.
+        seed: u64,
+    },
+}
+
+#[derive(Debug)]
+struct SiteState {
+    action: FaultAction,
+    trigger: Trigger,
+    /// SplitMix64 state for `Trigger::Probability`.
+    rng: u64,
+    hits: u64,
+}
+
+impl SiteState {
+    fn should_fire(&mut self) -> bool {
+        self.hits += 1;
+        match self.trigger {
+            Trigger::Always => true,
+            Trigger::Times(n) => self.hits <= n,
+            Trigger::Nth(n) => self.hits == n,
+            Trigger::Probability { num, den, .. } => {
+                debug_assert!(den > 0, "probability trigger with zero denominator");
+                let r = splitmix64(&mut self.rng);
+                den != 0 && (r % u64::from(den)) < u64::from(num)
+            }
+        }
+    }
+}
+
+/// The tiny PRNG behind `Trigger::Probability` (same algorithm as
+/// `cardir-workloads`, re-rolled here to keep this crate leaf-level).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Count of currently armed sites — the fast-path gate. When zero,
+/// [`hit`] returns without touching the registry lock.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, HashMap<String, SiteState>> {
+    // An injected panic can unwind through a `hit` caller while another
+    // thread holds the lock; recover the map rather than cascading.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Disarms its site when dropped, so a panicking (or early-returning)
+/// test cannot leave a fault armed for the next one.
+#[must_use = "the failpoint disarms when this guard drops"]
+#[derive(Debug)]
+pub struct FailGuard {
+    site: String,
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        disarm(&self.site);
+    }
+}
+
+/// Arms `site` with an action and a trigger, replacing any previous
+/// arming of the same site. The returned guard disarms on drop.
+pub fn arm(site: &str, action: FaultAction, trigger: Trigger) -> FailGuard {
+    let rng = match trigger {
+        Trigger::Probability { seed, .. } => seed,
+        _ => 0,
+    };
+    let mut map = lock_registry();
+    map.insert(site.to_string(), SiteState { action, trigger, rng, hits: 0 });
+    ARMED.store(map.len(), Ordering::Release);
+    FailGuard { site: site.to_string() }
+}
+
+/// Disarms `site`; returns whether it was armed.
+pub fn disarm(site: &str) -> bool {
+    let mut map = lock_registry();
+    let removed = map.remove(site).is_some();
+    ARMED.store(map.len(), Ordering::Release);
+    removed
+}
+
+/// Disarms every site (test hygiene between suites).
+pub fn disarm_all() {
+    let mut map = lock_registry();
+    map.clear();
+    ARMED.store(0, Ordering::Release);
+}
+
+/// Names of the currently armed sites, sorted.
+pub fn armed_sites() -> Vec<String> {
+    let map = lock_registry();
+    let mut names: Vec<String> = map.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// The failpoint check a site compiles in: `None` (the overwhelmingly
+/// common case — one relaxed atomic load) unless the site is armed *and*
+/// its trigger fires, in which case the action to inject is returned and
+/// the matching event counter is bumped.
+pub fn hit(site: &str) -> Option<FaultAction> {
+    if ARMED.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let mut map = lock_registry();
+    let state = map.get_mut(site)?;
+    if !state.should_fire() {
+        return None;
+    }
+    let action = state.action.clone();
+    drop(map);
+    events().record(&action);
+    Some(action)
+}
+
+/// Process-global fault-event counters: injections by kind, plus
+/// recoveries noted by fault-handling code (the persistence layer calls
+/// [`note_recovery`] when it falls back to a backup).
+#[derive(Debug, Default)]
+struct Events {
+    injected_panics: AtomicU64,
+    injected_errors: AtomicU64,
+    injected_delays: AtomicU64,
+    injected_io: AtomicU64,
+    injected_torn_writes: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl Events {
+    fn record(&self, action: &FaultAction) {
+        let counter = match action {
+            FaultAction::Panic(_) => &self.injected_panics,
+            FaultAction::Error(_) => &self.injected_errors,
+            FaultAction::Delay(_) => &self.injected_delays,
+            FaultAction::IoError(_) => &self.injected_io,
+            FaultAction::TornWrite(_) => &self.injected_torn_writes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EventSnapshot {
+        EventSnapshot {
+            injected_panics: self.injected_panics.load(Ordering::Relaxed),
+            injected_errors: self.injected_errors.load(Ordering::Relaxed),
+            injected_delays: self.injected_delays.load(Ordering::Relaxed),
+            injected_io: self.injected_io.load(Ordering::Relaxed),
+            injected_torn_writes: self.injected_torn_writes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn events() -> &'static Events {
+    static EVENTS: OnceLock<Events> = OnceLock::new();
+    EVENTS.get_or_init(Events::default)
+}
+
+/// Point-in-time copy of the process-wide fault-event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventSnapshot {
+    /// Panics injected by armed failpoints.
+    pub injected_panics: u64,
+    /// Errors injected by armed failpoints.
+    pub injected_errors: u64,
+    /// Latency injections.
+    pub injected_delays: u64,
+    /// IO errors injected by armed failpoints.
+    pub injected_io: u64,
+    /// Torn (short) writes injected by armed failpoints.
+    pub injected_torn_writes: u64,
+    /// Successful fallbacks to a backup noted via [`note_recovery`].
+    pub recoveries: u64,
+}
+
+impl EventSnapshot {
+    /// Counter-wise difference `self − earlier` (saturating), for
+    /// attributing events to a window.
+    pub fn since(&self, earlier: &EventSnapshot) -> EventSnapshot {
+        EventSnapshot {
+            injected_panics: self.injected_panics.saturating_sub(earlier.injected_panics),
+            injected_errors: self.injected_errors.saturating_sub(earlier.injected_errors),
+            injected_delays: self.injected_delays.saturating_sub(earlier.injected_delays),
+            injected_io: self.injected_io.saturating_sub(earlier.injected_io),
+            injected_torn_writes: self
+                .injected_torn_writes
+                .saturating_sub(earlier.injected_torn_writes),
+            recoveries: self.recoveries.saturating_sub(earlier.recoveries),
+        }
+    }
+
+    /// Total injections of any kind (recoveries excluded).
+    pub fn injections(&self) -> u64 {
+        self.injected_panics
+            + self.injected_errors
+            + self.injected_delays
+            + self.injected_io
+            + self.injected_torn_writes
+    }
+}
+
+/// Current fault-event counters.
+pub fn snapshot() -> EventSnapshot {
+    events().snapshot()
+}
+
+/// Records that fault-handling code recovered state from a backup (called
+/// by the persistence layer's load path).
+pub fn note_recovery() {
+    events().recoveries.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Folds the fault events that occurred since the previous `export` call
+/// into `registry` as `faults.*` counters (only non-zero deltas create
+/// counters, so fault-free reports stay fault-silent). Telemetry sinks —
+/// `Report`, `JsonLines` — then render them alongside the engine metrics.
+pub fn export(registry: &Registry) {
+    static LAST: OnceLock<Mutex<EventSnapshot>> = OnceLock::new();
+    let last = LAST.get_or_init(|| Mutex::new(EventSnapshot::default()));
+    let mut last = last.lock().unwrap_or_else(PoisonError::into_inner);
+    let now = snapshot();
+    let delta = now.since(&last);
+    *last = now;
+    for (name, value) in [
+        ("faults.injected_panics", delta.injected_panics),
+        ("faults.injected_errors", delta.injected_errors),
+        ("faults.injected_delays", delta.injected_delays),
+        ("faults.injected_io", delta.injected_io),
+        ("faults.injected_torn_writes", delta.injected_torn_writes),
+        ("faults.recoveries", delta.recoveries),
+    ] {
+        if value > 0 {
+            registry.counter(name).add(value);
+        }
+    }
+}
+
+/// Runs `f` with the default panic-hook output suppressed, restoring the
+/// previous hook afterwards. Fault-injection harnesses deliberately fire
+/// hundreds of caught panics; without this, each one would spray a
+/// `thread panicked` line onto stderr. The hook is process-global, so
+/// callers must serialise with any concurrent test that panics on
+/// purpose.
+pub fn with_silent_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Extracts a printable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-global; these tests serialise on one lock.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        let guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        disarm_all();
+        guard
+    }
+
+    #[test]
+    fn unarmed_site_is_a_noop() {
+        let _s = serial();
+        assert_eq!(hit("never.armed"), None);
+        assert!(armed_sites().is_empty());
+    }
+
+    #[test]
+    fn times_trigger_fires_then_passes() {
+        let _s = serial();
+        let _g = arm("t.times", FaultAction::Error("e".into()), Trigger::Times(2));
+        assert!(hit("t.times").is_some());
+        assert!(hit("t.times").is_some());
+        assert_eq!(hit("t.times"), None);
+        assert_eq!(hit("t.times"), None);
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let _s = serial();
+        let _g = arm("t.nth", FaultAction::Panic("boom".into()), Trigger::Nth(3));
+        assert_eq!(hit("t.nth"), None);
+        assert_eq!(hit("t.nth"), None);
+        assert_eq!(hit("t.nth"), Some(FaultAction::Panic("boom".into())));
+        assert_eq!(hit("t.nth"), None);
+    }
+
+    #[test]
+    fn probability_trigger_is_seed_deterministic() {
+        let _s = serial();
+        let pattern = |seed: u64| -> Vec<bool> {
+            let _g = arm(
+                "t.prob",
+                FaultAction::Delay(Duration::ZERO),
+                Trigger::Probability { num: 1, den: 3, seed },
+            );
+            (0..64).map(|_| hit("t.prob").is_some()).collect()
+        };
+        let a = pattern(42);
+        let b = pattern(42);
+        let c = pattern(43);
+        assert_eq!(a, b, "same seed must replay the same firing pattern");
+        assert_ne!(a, c, "different seeds should diverge");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(fired > 0 && fired < 64, "1/3 probability fired {fired}/64 times");
+    }
+
+    #[test]
+    fn guard_drop_disarms_and_rearm_replaces() {
+        let _s = serial();
+        let g = arm("t.guard", FaultAction::Error("a".into()), Trigger::Always);
+        assert_eq!(armed_sites(), vec!["t.guard".to_string()]);
+        drop(g);
+        assert!(armed_sites().is_empty());
+        assert_eq!(hit("t.guard"), None);
+
+        let _g1 = arm("t.guard", FaultAction::Error("a".into()), Trigger::Always);
+        let _g2 = arm("t.guard", FaultAction::Error("b".into()), Trigger::Always);
+        assert_eq!(hit("t.guard"), Some(FaultAction::Error("b".into())));
+    }
+
+    #[test]
+    fn events_count_by_kind_and_export_deltas() {
+        let _s = serial();
+        let before = snapshot();
+        {
+            let _g = arm("t.events", FaultAction::IoError("io".into()), Trigger::Times(3));
+            for _ in 0..5 {
+                let _ = hit("t.events");
+            }
+        }
+        note_recovery();
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.injected_io, 3);
+        assert_eq!(delta.recoveries, 1);
+        assert_eq!(delta.injections(), 3);
+
+        let registry = Registry::new();
+        export(&registry); // drains everything accumulated so far
+        let registry = Registry::new();
+        export(&registry); // nothing new since the drain
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("faults.injected_io"), None, "zero deltas create no counters");
+    }
+
+    #[test]
+    fn silent_panics_suppresses_and_restores() {
+        let _s = serial();
+        let result = with_silent_panics(|| {
+            std::panic::catch_unwind(|| panic!("quiet")).unwrap_err()
+        });
+        assert_eq!(panic_message(result), "quiet");
+        // A plain String payload round-trips too.
+        let payload = std::panic::catch_unwind(|| std::panic::panic_any("s".to_string()));
+        assert_eq!(panic_message(payload.unwrap_err()), "s");
+    }
+}

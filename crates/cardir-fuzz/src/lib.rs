@@ -20,6 +20,7 @@
 //! supposed to be panic-free on valid input.
 
 pub mod checks;
+pub mod faults;
 pub mod gen;
 
 use cardir_geometry::to_wkt;
@@ -119,6 +120,60 @@ pub fn run(base_seed: u64, iters: u64) -> FuzzReport {
     let mut report = FuzzReport { iterations: iters, ..FuzzReport::default() };
     for k in 0..iters {
         report.divergences.extend(run_seed(base_seed.wrapping_add(k)));
+    }
+    report
+}
+
+/// Runs the fault-injection checks for one seed.
+///
+/// Arms process-global failpoints: must not run concurrently with other
+/// failpoint users (the CLI and the smoke tests serialize it).
+pub fn run_faults_seed(seed: u64) -> Vec<Divergence> {
+    let scenario = gen::generate(seed);
+    let family = scenario.family;
+    let regions = &scenario.regions;
+    let mut out = Vec::new();
+
+    let mut caught = |name: &'static str, result: std::thread::Result<Option<checks::Failure>>| {
+        match result {
+            Ok(None) => {}
+            Ok(Some(failure)) => out.push(Divergence {
+                seed,
+                family,
+                check: failure.check.to_string(),
+                detail: failure.detail,
+            }),
+            Err(payload) => out.push(Divergence {
+                seed,
+                family,
+                check: format!("panic-{name}"),
+                detail: panic_message(payload),
+            }),
+        }
+    };
+
+    // Panics are an expected part of these checks (injected ones are
+    // caught by the engine); a panic escaping to *here* is itself a
+    // divergence, and either way the registry must be left disarmed.
+    let result = cardir_faults::with_silent_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| faults::check_engine_faults(regions, seed)))
+    });
+    cardir_faults::disarm_all();
+    caught("engine-faults", result);
+
+    let result =
+        catch_unwind(AssertUnwindSafe(|| faults::check_persistence_faults(regions, seed)));
+    cardir_faults::disarm_all();
+    caught("persistence-faults", result);
+    out
+}
+
+/// The `--faults` counterpart of [`run`]: `iters` seeded fault-injection
+/// iterations starting at `base_seed`.
+pub fn run_faults(base_seed: u64, iters: u64) -> FuzzReport {
+    let mut report = FuzzReport { iterations: iters, ..FuzzReport::default() };
+    for k in 0..iters {
+        report.divergences.extend(run_faults_seed(base_seed.wrapping_add(k)));
     }
     report
 }

@@ -3,7 +3,13 @@
 //! ```text
 //! cargo run -p cardir-fuzz -- --iters 500 --seed 1
 //! cargo run -p cardir-fuzz -- --seed 123456   # replay one divergence
+//! cargo run -p cardir-fuzz -- --faults --iters 100 --seed 1
 //! ```
+//!
+//! `--faults` switches to the fault-injection check family: seeded
+//! failpoint arming during differential runs, asserting accounting
+//! closure, bit-identical surviving pairs, and clean recovery after torn
+//! configuration writes.
 //!
 //! Exits non-zero when any divergence (or panic) is found, printing each
 //! one with its replay command.
@@ -11,13 +17,14 @@
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: cardir-fuzz [--seed N] [--iters M]");
+    eprintln!("usage: cardir-fuzz [--seed N] [--iters M] [--faults]");
     std::process::exit(2)
 }
 
 fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut iters = 1u64;
+    let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = |args: &mut dyn Iterator<Item = String>| {
@@ -26,12 +33,17 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--seed" => seed = value(&mut args).parse().unwrap_or_else(|_| usage()),
             "--iters" => iters = value(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--faults" => faults = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    let report = cardir_fuzz::run(seed, iters);
+    let report = if faults {
+        cardir_fuzz::run_faults(seed, iters)
+    } else {
+        cardir_fuzz::run(seed, iters)
+    };
     for d in &report.divergences {
         eprintln!("{d}\n");
     }

@@ -1,0 +1,23 @@
+//! Smoke test of the `--faults` check family: a block of seeded
+//! fault-injection iterations must find no divergences.
+//!
+//! This is its own test binary, so its process-global failpoint use
+//! cannot race the lib's unit tests; the single test needs no internal
+//! serialization either.
+
+#[test]
+fn seeded_fault_block_is_divergence_free() {
+    let report = cardir_fuzz::run_faults(1, 12);
+    assert_eq!(report.iterations, 12);
+    assert!(
+        report.divergences.is_empty(),
+        "unexpected fault-injection divergences:\n{}",
+        report
+            .divergences
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(cardir_faults::armed_sites().is_empty(), "failpoints left armed");
+}

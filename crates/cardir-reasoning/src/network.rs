@@ -31,7 +31,7 @@
 //! completeness of the occupancy phase depends on the tried order types.
 //! The `solver_completeness` experiment measures the gap empirically:
 //! zero on satisfiable-by-construction networks up to 4 variables, a few
-//! percent at 5–6 (see DESIGN.md §8 and EXPERIMENTS.md E10).
+//! percent at 5–6 (see DESIGN.md §9 and EXPERIMENTS.md E10).
 
 use crate::witness::realize;
 use cardir_core::CardinalRelation;

@@ -48,14 +48,24 @@ fn main() {
     assert_eq!(answers[0].values, ["peloponnesos", "aegina"]);
 
     // "The configuration of the image … [is] persistently stored using a
-    // simple XML description."
+    // simple XML description." — via the crash-safe atomic save
+    // (write-temp/fsync/rename, previous generation kept as `.bak`).
     let xml = to_xml(&config);
     println!("\nXML export: {} bytes, starts with:", xml.len());
     for line in xml.lines().take(4) {
         println!("  {line}");
     }
-    let reloaded = cardir::cardirect::from_xml(&xml).unwrap();
-    assert_eq!(reloaded.len(), config.len());
-    assert_eq!(reloaded.relations().len(), config.relations().len());
-    println!("\nXML round-trip verified ({} regions).", reloaded.len());
+    let path = std::env::temp_dir()
+        .join(format!("peloponnesian-war-{}.xml", std::process::id()));
+    let report = config.save_to(&path).expect("atomic save succeeds");
+    let loaded = Configuration::load_from(&path).expect("saved file loads");
+    assert_eq!(loaded.config.len(), config.len());
+    assert_eq!(loaded.config.relations().len(), config.relations().len());
+    println!(
+        "\nXML round-trip verified ({} regions, {} bytes via {:?}).",
+        loaded.config.len(),
+        report.bytes,
+        loaded.source
+    );
+    let _ = std::fs::remove_file(&path);
 }

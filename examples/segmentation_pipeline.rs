@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --example segmentation_pipeline`
 
-use cardir::cardirect::{evaluate, parse_query, to_xml, Configuration};
+use cardir::cardirect::{evaluate, parse_query, Configuration};
 use cardir::segment::{random_blobs, Connectivity};
 use cardir::workloads::SplitMix64;
 
@@ -44,11 +44,15 @@ fn main() {
         config.relations().len()
     );
 
-    // 4. Persist as the paper's XML and re-import.
-    let xml = to_xml(&config);
-    let reloaded = cardir::cardirect::from_xml(&xml).expect("own export re-imports");
+    // 4. Persist as the paper's XML (atomic save, `.bak` generation on
+    //    re-save) and re-import via the recovery-aware loader.
+    let path = std::env::temp_dir()
+        .join(format!("segmentation-pipeline-{}.xml", std::process::id()));
+    let report = config.save_to(&path).expect("atomic save succeeds");
+    let reloaded = Configuration::load_from(&path).expect("saved file loads").config;
     assert_eq!(reloaded.len(), config.len());
-    println!("XML round-trip: {} bytes", xml.len());
+    println!("XML round-trip: {} bytes", report.bytes);
+    let _ = std::fs::remove_file(&path);
 
     // 5. Retrieve combinations of interesting regions.
     let q = parse_query("{(x, y) | color(x) = red, x {N, NW, NE, NW:N, N:NE, NW:N:NE} y}")

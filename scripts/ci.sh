@@ -22,4 +22,10 @@ cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json"
 # gate and prints its replayable seed.
 cargo run --offline -p cardir-fuzz -- --iters 500 --seed 1
 
+# Fault-injection smoke: seeded failpoint arming during differential runs
+# (accounting closure, bit-identical survivors, torn-write recovery),
+# plus the engine fault sweep suite.
+cargo run --offline -p cardir-fuzz -- --faults --iters 120 --seed 1
+cargo test -q --offline --test fault_injection
+
 echo "ci: all green"

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use cardir_cardirect::{ConfigError, EvalError, QueryParseError, XmlError};
+use cardir_cardirect::{ConfigError, EvalError, PersistError, QueryParseError, XmlError};
 use cardir_core::{ComputeError, RelationParseError};
 use cardir_engine::EngineError;
 use cardir_geometry::{BoundingBoxError, PolygonError, RegionError, WktError};
@@ -37,6 +37,8 @@ pub enum CardirError {
     Config(ConfigError),
     /// Malformed CARDIRECT XML document.
     Xml(XmlError),
+    /// Crash-safe persistence failed (atomic save or recovery load).
+    Persist(PersistError),
     /// Malformed query text.
     QueryParse(QueryParseError),
     /// Query evaluation referenced an unknown region or attribute.
@@ -55,6 +57,7 @@ impl fmt::Display for CardirError {
             CardirError::Engine(e) => write!(f, "engine: {e}"),
             CardirError::Config(e) => write!(f, "configuration: {e}"),
             CardirError::Xml(e) => write!(f, "xml: {e}"),
+            CardirError::Persist(e) => write!(f, "persistence: {e}"),
             CardirError::QueryParse(e) => write!(f, "query: {e}"),
             CardirError::Eval(e) => write!(f, "eval: {e}"),
         }
@@ -73,6 +76,7 @@ impl std::error::Error for CardirError {
             CardirError::Engine(e) => Some(e),
             CardirError::Config(e) => Some(e),
             CardirError::Xml(e) => Some(e),
+            CardirError::Persist(e) => Some(e),
             CardirError::QueryParse(e) => Some(e),
             CardirError::Eval(e) => Some(e),
         }
@@ -98,6 +102,7 @@ from_impl!(ComputeError => Compute);
 from_impl!(EngineError => Engine);
 from_impl!(ConfigError => Config);
 from_impl!(XmlError => Xml);
+from_impl!(PersistError => Persist);
 from_impl!(QueryParseError => QueryParse);
 from_impl!(EvalError => Eval);
 

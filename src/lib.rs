@@ -26,6 +26,8 @@
 //!   scenario ([`cardir_segment`]);
 //! * [`telemetry`] — stdlib-only counters, histograms, span timers, and
 //!   report / JSON-lines sinks ([`cardir_telemetry`]);
+//! * [`faults`] — deterministic failpoint injection for testing the
+//!   stack's failure paths ([`cardir_faults`]);
 //! * [`extensions`] — topological and distance relations, the paper's
 //!   Section-5 future work ([`cardir_extensions`]).
 //!
@@ -51,6 +53,7 @@ pub use cardir_cardirect as cardirect;
 pub use cardir_core as core;
 pub use cardir_engine as engine;
 pub use cardir_extensions as extensions;
+pub use cardir_faults as faults;
 pub use cardir_geometry as geometry;
 pub use cardir_index as index;
 pub use cardir_reasoning as reasoning;
