@@ -12,9 +12,9 @@
 //! the `cardir-telemetry` sink, machine-readable for regression tracking.
 
 use cardir_bench::SEED;
-use cardir_engine::{BatchEngine, EngineMode, RegionCache};
+use cardir_engine::{BatchEngine, EngineMetrics, EngineMode, RegionCache};
 use cardir_geometry::{BoundingBox, Point, Region};
-use cardir_telemetry::{Json, JsonLines};
+use cardir_telemetry::{Json, JsonLines, Registry};
 use cardir_workloads::{random_map, SplitMix64};
 use std::hint::black_box;
 use std::time::Instant;
@@ -70,6 +70,7 @@ fn main() {
         sink
     });
 
+    let mut last_metrics = EngineMetrics::default();
     for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
         println!("\n== {mode:?} ==");
         let mut baseline = None;
@@ -122,7 +123,37 @@ fn main() {
                 )
                 .expect("write JSON line");
             }
+            last_metrics = result.metrics.clone();
         }
+    }
+
+    // Robust-predicate filter effectiveness over the whole bench run,
+    // read back through the same registry export path production uses
+    // (EngineMetrics::export → geometry.* counters).
+    let registry = Registry::new();
+    last_metrics.export(&registry);
+    let snap = registry.snapshot();
+    let orient_calls = snap.counter("geometry.orient2d_calls").unwrap_or(0);
+    let exact_fallback = snap.counter("geometry.exact_fallback").unwrap_or(0);
+    let filter_hit_rate = if orient_calls == 0 {
+        1.0
+    } else {
+        1.0 - exact_fallback as f64 / orient_calls as f64
+    };
+    println!(
+        "\ngeometry: {orient_calls} orient2d calls, {exact_fallback} exact fallbacks (filter hit-rate {:.4}%)",
+        100.0 * filter_hit_rate,
+    );
+    if let Some(sink) = &mut sink {
+        sink.emit(
+            "geometry",
+            Json::obj([
+                ("orient2d_calls", Json::from(orient_calls)),
+                ("exact_fallback", Json::from(exact_fallback)),
+                ("filter_hit_rate", Json::from(filter_hit_rate)),
+            ]),
+        )
+        .expect("write JSON line");
     }
 
     if let Some(sink) = &mut sink {

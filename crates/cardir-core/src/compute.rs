@@ -93,7 +93,10 @@ fn cdr_over_mbb_hooked<H: MetricsHook>(
         }
         // Fig. 5: "If the center of mbb(b) is in p then R = tile-union(R, B)".
         // Catches polygons that cover the whole central tile without any
-        // edge inside it.
+        // edge inside it. `Polygon::contains` decides boundary membership
+        // and ray-cast parity through the exact predicates in
+        // `cardir_geometry::robust`, so a center exactly on an edge or
+        // vertex of `p` cannot be mis-classified by rounding.
         if bits & Tile::B.bit() == 0 && polygon.contains(center) {
             bits |= Tile::B.bit();
             hook.b_center_hit();

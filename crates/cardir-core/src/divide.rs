@@ -46,6 +46,12 @@ impl DivisionStats {
 ///   downstream band classification of sub-edge midpoints is exact;
 /// * an edge passing exactly through a box corner produces a single
 ///   division point (the two line crossings coincide).
+///
+/// Crossing detection itself needs no robust fallback: the lines are
+/// axis-parallel, so `Segment::crossing_parameter` decides "strictly on
+/// opposite sides" from the signs of two single correctly-rounded
+/// subtractions, which are exact for all finite `f64` input, and its
+/// returned parameter is clamped to `[0, 1]`.
 pub fn for_each_division<F: FnMut(Segment)>(edge: Segment, mbb: BoundingBox, mut f: F) {
     // Interior crossing parameters with each of the four mbb lines.
     let mut crossings: [(f64, Line); 4] = [(0.0, Line::Vertical(0.0)); 4];

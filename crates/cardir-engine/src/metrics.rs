@@ -11,7 +11,9 @@
 
 use crate::batch::BatchStats;
 use crate::policy::FaultTally;
+use cardir_geometry::RobustStats;
 use cardir_telemetry::{HistogramSnapshot, Registry, COUNT_BOUNDS, DURATION_BOUNDS_NS};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Everything one batch run can tell you about its own cost.
@@ -101,12 +103,38 @@ impl EngineMetrics {
         // Fold in whatever the failpoint registry injected since the last
         // export (a no-op when fault injection never ran).
         cardir_faults::export(registry);
+        export_geometry(registry);
     }
+}
+
+/// Folds the robust-predicate counters accumulated since the previous
+/// export into `registry` as `geometry.orient2d_calls` /
+/// `geometry.exact_fallback` — same delta pattern as
+/// [`cardir_faults::export`]. `cardir-geometry` has no telemetry
+/// dependency, so the engine is the export point.
+///
+/// Unlike the fault counters, both counters are created even when the
+/// delta is zero: "the exact fallback never fired" is itself the signal
+/// dashboards watch (a healthy filter hit-rate), so the series must
+/// exist on every export.
+fn export_geometry(registry: &Registry) {
+    static LAST: OnceLock<Mutex<RobustStats>> = OnceLock::new();
+    let last = LAST.get_or_init(|| Mutex::new(RobustStats::default()));
+    let mut last = last.lock().unwrap_or_else(PoisonError::into_inner);
+    let now = cardir_geometry::robust::stats();
+    let delta = now.since(&last);
+    *last = now;
+    registry.counter("geometry.orient2d_calls").add(delta.orient_calls);
+    registry.counter("geometry.exact_fallback").add(delta.exact_fallbacks);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `export` drains process-global delta state (predicate counters,
+    /// fault events); tests that call it must not interleave.
+    static EXPORT_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn worker_balance_bounds() {
@@ -120,6 +148,7 @@ mod tests {
 
     #[test]
     fn export_writes_engine_namespace() {
+        let _guard = EXPORT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
         let m = EngineMetrics {
             stats: BatchStats {
                 pairs: 10,
@@ -146,5 +175,32 @@ mod tests {
         assert_eq!(snap.histogram("engine.exact_pass_ns").unwrap().count, 2);
         assert_eq!(snap.histogram("engine.thread_pairs").unwrap().count, 4);
         assert!(snap.histogram("engine.chunk_ns").is_none());
+        // The robust-predicate series always exports, even when zero
+        // predicate calls happened between exports.
+        assert!(snap.counter("geometry.orient2d_calls").is_some());
+        assert!(snap.counter("geometry.exact_fallback").is_some());
+    }
+
+    #[test]
+    fn export_folds_predicate_deltas() {
+        use cardir_geometry::{orient2d_sign, Point, Sign};
+        let _guard = EXPORT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let registry = Registry::new();
+        EngineMetrics::default().export(&registry); // drain other tests' calls
+        let drained = registry.snapshot().counter("geometry.orient2d_calls").unwrap_or(0);
+        // One call that the static filter decides, one that must fall back.
+        assert_eq!(
+            orient2d_sign(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)),
+            Sign::Positive
+        );
+        assert_eq!(
+            orient2d_sign(Point::new(0.1, 0.1), Point::new(0.2, 0.2), Point::new(0.3, 0.3)),
+            Sign::Zero
+        );
+        EngineMetrics::default().export(&registry);
+        let snap = registry.snapshot();
+        let calls = snap.counter("geometry.orient2d_calls").unwrap();
+        assert!(calls >= drained + 2, "calls = {calls}, drained = {drained}");
+        assert!(snap.counter("geometry.exact_fallback").unwrap() >= 1);
     }
 }

@@ -19,13 +19,16 @@
 //! representative interior points decide containment, and residual
 //! boundary contact decides `Meets` vs `Disjoint`.
 //!
-//! Precision: decisions use exact sign tests on `f64` arithmetic. A
+//! Precision: every sign decision goes through the exact predicates in
+//! `cardir_geometry::robust` (adaptive-precision `orient2d`), so the
+//! lattice classification cannot flip on near-degenerate contact. A
 //! vertex lying *exactly* on the other region's boundary with its
 //! neighbours on strictly opposite sides is handled as a proper crossing
 //! (transversal vertex contact); contacts of measure zero otherwise
 //! count as touching.
 
 use cardir_geometry::point::orient;
+use cardir_geometry::robust::{orient2d_sign, Sign};
 use cardir_geometry::{segments_cross_properly, segments_intersect, Point, Polygon, Region, Segment};
 use std::fmt;
 
@@ -170,10 +173,11 @@ pub fn interior_point(p: &Polygon) -> Point {
 }
 
 fn point_strictly_in_triangle(q: Point, a: Point, b: Point, c: Point) -> bool {
-    let d1 = orient(a, b, q);
-    let d2 = orient(b, c, q);
-    let d3 = orient(c, a, q);
-    (d1 > 0.0 && d2 > 0.0 && d3 > 0.0) || (d1 < 0.0 && d2 < 0.0 && d3 < 0.0)
+    let d1 = orient2d_sign(a, b, q);
+    let d2 = orient2d_sign(b, c, q);
+    let d3 = orient2d_sign(c, a, q);
+    (d1 == Sign::Positive && d2 == Sign::Positive && d3 == Sign::Positive)
+        || (d1 == Sign::Negative && d2 == Sign::Negative && d3 == Sign::Negative)
 }
 
 /// Detects a transversal crossing between the boundaries: a proper
@@ -204,12 +208,12 @@ fn transversal_vertex(a: &Region, b: &Region) -> bool {
             let v = vs[i];
             let next = vs[(i + 1) % n];
             for eb in b.edges() {
-                if !eb.contains_point(v, 0.0) {
+                if !eb.contains_point(v) {
                     continue;
                 }
-                let d_prev = orient(eb.a, eb.b, prev);
-                let d_next = orient(eb.a, eb.b, next);
-                if (d_prev > 0.0 && d_next < 0.0) || (d_prev < 0.0 && d_next > 0.0) {
+                let d_prev = orient2d_sign(eb.a, eb.b, prev);
+                let d_next = orient2d_sign(eb.a, eb.b, next);
+                if !d_prev.is_zero() && d_next == d_prev.flipped() {
                     return true;
                 }
             }

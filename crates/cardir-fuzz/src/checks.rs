@@ -1,13 +1,16 @@
 //! The differential checks: every one compares two independent
 //! computations of the same fact and reports any disagreement.
 
+use crate::{gen, legacy};
 use cardir_cardirect::{evaluate, from_xml, parse_query, to_xml, Configuration};
 use cardir_core::{
     clipping_cdr, compute_cdr, compute_cdr_with_mbb, tile_areas, tile_areas_with_mbb,
     try_compute_cdr_with_mbb, ALL_TILES,
 };
 use cardir_engine::{BatchEngine, EngineMode, RegionCache};
-use cardir_geometry::{to_wkt, Region};
+use cardir_geometry::robust::{on_segment, orient2d_sign, Sign};
+use cardir_geometry::{to_wkt, Point, Polygon, Region, Segment};
+use cardir_workloads::SplitMix64;
 
 /// One failed check.
 #[derive(Debug, Clone)]
@@ -220,6 +223,192 @@ pub fn check_config(regions: &[Region]) -> Option<Failure> {
     }
 
     None
+}
+
+/// Outcome of the predicate-level ulp audit for one seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UlpAudit {
+    /// Ground-truth cases evaluated.
+    pub cases: u64,
+    /// Cases where the retired epsilon predicates disagree with the
+    /// exact ones — the bug class the robust rewrite removed.
+    /// Informational: only an *exact-path* error is a failure.
+    pub legacy_mismatches: u64,
+}
+
+/// Exact power-of-two scales the audit runs at, covering the magnitudes
+/// where the retired tolerances were alternately too tight and too loose.
+const AUDIT_SCALES: [i32; 5] = [-40, -20, 0, 20, 40];
+
+/// Predicate-level differential audit: constructs points whose
+/// on/off-segment and in/out-of-polygon status is known *by
+/// construction* (exact lattice geometry, then 1–4 ulp perpendicular
+/// nudges), asserts the exact predicates reproduce the ground truth, and
+/// counts where the retired epsilon predicates disagree.
+///
+/// Ground-truth argument for the nudges: the constructed on-point `p`
+/// satisfies `(b − a) × (p − a) = 0` in the reals (every coordinate is
+/// an exact multiple of `s/8` with a small numerator, so no rounding
+/// occurred anywhere). Stepping one coordinate by `δ ≠ 0` changes that
+/// cross product by exactly `±δ·(b − a)` in the other coordinate, which
+/// is non-zero whenever the segment is not parallel to the stepped axis
+/// — so the nudged point is off the carrier line as a fact of real
+/// arithmetic, not a tolerance judgement.
+pub fn check_ulp_predicates(seed: u64) -> (UlpAudit, Option<Failure>) {
+    let rng = &mut SplitMix64::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut audit = UlpAudit::default();
+
+    for round in 0..12 {
+        let s = 2f64.powi(AUDIT_SCALES[rng.random_range(0..AUDIT_SCALES.len())]);
+
+        // --- Segment cases -------------------------------------------------
+        let (a, b) = loop {
+            let a = Point::new(gen::half(rng) * s, gen::half(rng) * s);
+            let b = Point::new(gen::half(rng) * s, gen::half(rng) * s);
+            if a != b {
+                break (a, b);
+            }
+        };
+        let seg = Segment::new(a, b);
+        let t = rng.random_range(0i64..=4) as f64 * 0.25;
+        let p = Point::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t);
+
+        audit.cases += 1;
+        if !on_segment(a, b, p) || orient2d_sign(a, b, p) != Sign::Zero {
+            return (
+                audit,
+                fail(
+                    "ulp-exact-on-segment",
+                    format!("round {round}: constructed on-point {p} rejected for {seg}"),
+                ),
+            );
+        }
+
+        // Perpendicular nudge: step an axis the segment is not parallel
+        // to (zero coordinates are skipped — stepping 0.0 manufactures a
+        // subnormal, outside the predicates' no-underflow domain).
+        let step_x = if a.y == b.y {
+            false
+        } else if a.x == b.x {
+            true
+        } else {
+            rng.random_bool(0.5)
+        };
+        let k = rng.random_range(1i64..=4);
+        let k = if rng.random_bool(0.5) { k } else { -k };
+        let coord = if step_x { p.x } else { p.y };
+        if coord != 0.0 {
+            let stepped = gen::ulp_step(coord, k);
+            let delta_sign = if k > 0 { 1.0 } else { -1.0 };
+            let (q, expected) = if step_x {
+                (Point::new(stepped, p.y), Sign::of(-(b.y - a.y) * delta_sign))
+            } else {
+                (Point::new(p.x, stepped), Sign::of((b.x - a.x) * delta_sign))
+            };
+            audit.cases += 1;
+            if on_segment(a, b, q) || orient2d_sign(a, b, q) != expected {
+                return (
+                    audit,
+                    fail(
+                        "ulp-exact-off-segment",
+                        format!(
+                            "round {round}: {q} is {k} ulps off {seg} but on_segment = {}, \
+                             orient = {:?} (expected {expected:?})",
+                            on_segment(a, b, q),
+                            orient2d_sign(a, b, q)
+                        ),
+                    ),
+                );
+            }
+            // The retired predicate judged the same question through a
+            // length-scaled tolerance band.
+            let eps = 1e-12 * (b - a).norm();
+            if legacy::segment_contains_point(seg, q, eps) {
+                audit.legacy_mismatches += 1;
+            }
+        }
+
+        // --- Polygon cases -------------------------------------------------
+        let bx = gen::lattice_box(rng);
+        let poly = Polygon::from_coords([
+            (bx[0] * s, bx[1] * s),
+            (bx[2] * s, bx[1] * s),
+            (bx[2] * s, bx[3] * s),
+            (bx[0] * s, bx[3] * s),
+        ])
+        .expect("lattice box");
+        let ym = (bx[1] + bx[3]) / 2.0 * s; // exact: quarter-lattice midpoint
+        let on_east = Point::new(bx[2] * s, ym);
+
+        audit.cases += 1;
+        if !poly.contains(on_east) || !poly.on_boundary(on_east) {
+            return (
+                audit,
+                fail(
+                    "ulp-exact-boundary",
+                    format!("round {round}: {on_east} on the east edge of {poly} rejected"),
+                ),
+            );
+        }
+        if on_east.x != 0.0 {
+            let out = Point::new(gen::ulp_step(on_east.x, rng.random_range(1i64..=4)), ym);
+            let inside = Point::new(gen::ulp_step(on_east.x, -rng.random_range(1i64..=4)), ym);
+            audit.cases += 2;
+            if poly.contains(out) || poly.on_boundary(out) {
+                return (
+                    audit,
+                    fail(
+                        "ulp-exact-outside",
+                        format!("round {round}: {out} is ulps east of {poly} but contained"),
+                    ),
+                );
+            }
+            if !poly.contains(inside) || poly.on_boundary(inside) {
+                return (
+                    audit,
+                    fail(
+                        "ulp-exact-inside",
+                        format!("round {round}: {inside} is ulps inside {poly} but rejected"),
+                    ),
+                );
+            }
+            if legacy::contains(&poly, out) || legacy::on_boundary(&poly, out) {
+                audit.legacy_mismatches += 1;
+            }
+        }
+
+        // --- Shared-vertex parity case ------------------------------------
+        // A zig-zag with three vertices on the query row: interpolated
+        // ray-casting can round the two crossings incident to a shared
+        // vertex to different sides of the query and flip parity twice.
+        let zig = Polygon::from_coords(
+            [(0.0, 0.0), (8.0, 0.0), (8.0, 2.0), (6.0, 4.0), (4.0, 2.0), (2.0, 4.0), (0.0, 2.0)]
+                .map(|(x, y)| (x * s, y * s)),
+        )
+        .expect("zig-zag lattice polygon");
+        for (q, truth) in [
+            (Point::new(s, 2.0 * s), true),
+            (Point::new(5.0 * s, 2.0 * s), true),
+            (Point::new(4.0 * s, 2.0 * s), true), // the shared vertex itself
+            (Point::new(-s, 2.0 * s), false),
+            (Point::new(9.0 * s, 2.0 * s), false),
+        ] {
+            audit.cases += 1;
+            if zig.contains(q) != truth {
+                return (
+                    audit,
+                    fail(
+                        "ulp-exact-parity",
+                        format!("round {round}: contains({q}) != {truth} on the zig-zag at scale {s:e}"),
+                    ),
+                );
+            }
+            if legacy::contains(&zig, q) != truth {
+                audit.legacy_mismatches += 1;
+            }
+        }
+    }
+    (audit, None)
 }
 
 /// Shrinks a failing pair by dropping member polygons while the failure

@@ -1,0 +1,71 @@
+//! Frozen copies of the tuned-epsilon predicates that
+//! `cardir-geometry` shipped before the robust-predicate rewrite.
+//!
+//! These are **differential references, not production code**: the ulp
+//! checks run them next to the exact predicates on geometry with
+//! constructed ground truth, demonstrating the failure class that
+//! motivated the rewrite (a tolerance band accepts points that are
+//! provably off a segment, and interpolated ray-cast crossings can
+//! double-count a shared vertex). Keep them bug-for-bug identical to the
+//! retired originals; fixing them would erase the evidence the pinned
+//! regression tests rely on.
+
+use cardir_geometry::{Point, Polygon, Segment};
+
+/// The retired `Segment::contains_point(p, eps)`: distance-to-carrier
+/// test against a tolerance scaled by the segment length, then a
+/// parameter-interval test widened by the same tolerance.
+pub fn segment_contains_point(s: Segment, p: Point, eps: f64) -> bool {
+    let d = s.direction();
+    let ap = p - s.a;
+    let len = d.norm();
+    if len == 0.0 {
+        return ap.norm() <= eps;
+    }
+    if d.cross(ap).abs() > eps * len {
+        return false;
+    }
+    let t = ap.dot(d);
+    (-eps * len..=d.norm_sq() + eps * len).contains(&t)
+}
+
+/// The tolerance the retired `Polygon::on_boundary` derived from the
+/// polygon's extent.
+pub fn boundary_eps(poly: &Polygon) -> f64 {
+    let bb = poly.bounding_box();
+    1e-12 * bb.width().max(bb.height())
+}
+
+/// The retired `Polygon::on_boundary`: every edge tested with the
+/// extent-scaled tolerance.
+pub fn on_boundary(poly: &Polygon, p: Point) -> bool {
+    let eps = boundary_eps(poly);
+    poly.edges().any(|e| segment_contains_point(e, p, eps))
+}
+
+/// The retired interior parity test: crossings located by *interpolating*
+/// the intersection abscissa `x_int` in floating point, so the two edges
+/// meeting at a shared vertex on the query row can round their crossings
+/// to different sides of `p` and flip parity twice (or zero times).
+pub fn contains_interior_crossing(poly: &Polygon, p: Point) -> bool {
+    let vs = poly.vertices();
+    let mut inside = false;
+    let n = vs.len();
+    for i in 0..n {
+        let a = vs[i];
+        let b = vs[(i + 1) % n];
+        if (a.y > p.y) != (b.y > p.y) {
+            let x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+            if p.x < x_int {
+                inside = !inside;
+            }
+        }
+    }
+    inside
+}
+
+/// The retired `Polygon::contains`: tolerance-band boundary test, then
+/// interpolated parity.
+pub fn contains(poly: &Polygon, p: Point) -> bool {
+    on_boundary(poly, p) || contains_interior_crossing(poly, p)
+}

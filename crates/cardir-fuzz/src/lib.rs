@@ -22,6 +22,7 @@
 pub mod checks;
 pub mod faults;
 pub mod gen;
+pub mod legacy;
 
 use cardir_geometry::to_wkt;
 use std::fmt;
@@ -62,7 +63,17 @@ pub struct FuzzReport {
 
 /// Runs every check for one seed and returns its divergences.
 pub fn run_seed(seed: u64) -> Vec<Divergence> {
-    let scenario = gen::generate(seed);
+    run_scenario(seed, gen::generate(seed))
+}
+
+/// Runs the checks for one seed *forced into the ulp-adversarial
+/// family*, regardless of what family the seed would normally draw.
+/// Used by the CI ulp sweep and the pinned ulp regression tests.
+pub fn run_seed_ulp(seed: u64) -> Vec<Divergence> {
+    run_scenario(seed, gen::generate_ulp(seed))
+}
+
+fn run_scenario(seed: u64, scenario: gen::Scenario) -> Vec<Divergence> {
     let family = scenario.family;
     let regions = &scenario.regions;
     let mut out = Vec::new();
@@ -111,6 +122,12 @@ pub fn run_seed(seed: u64) -> Vec<Divergence> {
 
     caught("engine", catch_unwind(AssertUnwindSafe(|| checks::check_engine(regions))));
     caught("config", catch_unwind(AssertUnwindSafe(|| checks::check_config(regions))));
+    if family == "ulp-adversarial" {
+        caught(
+            "ulp-predicates",
+            catch_unwind(AssertUnwindSafe(|| checks::check_ulp_predicates(seed).1)),
+        );
+    }
     out
 }
 
@@ -120,6 +137,16 @@ pub fn run(base_seed: u64, iters: u64) -> FuzzReport {
     let mut report = FuzzReport { iterations: iters, ..FuzzReport::default() };
     for k in 0..iters {
         report.divergences.extend(run_seed(base_seed.wrapping_add(k)));
+    }
+    report
+}
+
+/// The forced-ulp counterpart of [`run`]: every iteration generates an
+/// ulp-adversarial scenario (CI runs this for ≥ 200 seeds).
+pub fn run_ulp(base_seed: u64, iters: u64) -> FuzzReport {
+    let mut report = FuzzReport { iterations: iters, ..FuzzReport::default() };
+    for k in 0..iters {
+        report.divergences.extend(run_seed_ulp(base_seed.wrapping_add(k)));
     }
     report
 }
@@ -225,6 +252,46 @@ mod tests {
             "seed 57 regressed:\n{}",
             divergences.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
         );
+    }
+
+    /// The CI ulp sweep in miniature: a forced ulp-adversarial block
+    /// must be divergence-free — `compute_cdr` through the exact
+    /// predicates agrees with the clipping baseline, the engine, and the
+    /// area accounting on geometry nudged 1–4 ulps around grid lines.
+    #[test]
+    fn ulp_block_is_divergence_free() {
+        let report = run_ulp(1, 40);
+        assert_eq!(report.iterations, 40);
+        assert!(
+            report.divergences.is_empty(),
+            "unexpected divergences:\n{}",
+            report
+                .divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Pinned ulp-audit regressions: on these seeds' constructed
+    /// ground-truth cases the exact predicates are right everywhere,
+    /// while the retired epsilon predicates demonstrably disagree (their
+    /// tolerance bands accept points that are provably off a segment or
+    /// outside a polygon). If the second assertion ever starts failing,
+    /// `legacy` was "fixed" — which defeats its purpose as differential
+    /// evidence.
+    #[test]
+    fn pinned_seeds_exact_right_where_legacy_epsilon_diverges() {
+        for seed in [1u64, 7, 42] {
+            let (audit, failure) = checks::check_ulp_predicates(seed);
+            assert!(failure.is_none(), "seed {seed}: exact path wrong: {failure:?}");
+            assert!(audit.cases >= 50, "seed {seed}: only {} cases", audit.cases);
+            assert!(
+                audit.legacy_mismatches > 0,
+                "seed {seed}: legacy predicates unexpectedly agreed with ground truth everywhere"
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! cargo run -p cardir-fuzz -- --iters 500 --seed 1
 //! cargo run -p cardir-fuzz -- --seed 123456   # replay one divergence
 //! cargo run -p cardir-fuzz -- --faults --iters 100 --seed 1
+//! cargo run -p cardir-fuzz -- --family ulp --iters 200 --seed 1
 //! ```
 //!
 //! `--faults` switches to the fault-injection check family: seeded
@@ -11,13 +12,18 @@
 //! closure, bit-identical surviving pairs, and clean recovery after torn
 //! configuration writes.
 //!
+//! `--family ulp` (or `ulp-adversarial`) forces every iteration into the
+//! ulp-adversarial scenario family: coordinates nudged 1–4 ulps around
+//! the reference's grid lines, plus the predicate-level ground-truth
+//! audit against the retired epsilon implementations.
+//!
 //! Exits non-zero when any divergence (or panic) is found, printing each
 //! one with its replay command.
 
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: cardir-fuzz [--seed N] [--iters M] [--faults]");
+    eprintln!("usage: cardir-fuzz [--seed N] [--iters M] [--faults] [--family ulp]");
     std::process::exit(2)
 }
 
@@ -25,6 +31,7 @@ fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut iters = 1u64;
     let mut faults = false;
+    let mut family: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = |args: &mut dyn Iterator<Item = String>| {
@@ -34,15 +41,17 @@ fn main() -> ExitCode {
             "--seed" => seed = value(&mut args).parse().unwrap_or_else(|_| usage()),
             "--iters" => iters = value(&mut args).parse().unwrap_or_else(|_| usage()),
             "--faults" => faults = true,
+            "--family" => family = Some(value(&mut args)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    let report = if faults {
-        cardir_fuzz::run_faults(seed, iters)
-    } else {
-        cardir_fuzz::run(seed, iters)
+    let report = match (faults, family.as_deref()) {
+        (true, None) => cardir_fuzz::run_faults(seed, iters),
+        (false, None) => cardir_fuzz::run(seed, iters),
+        (false, Some("ulp" | "ulp-adversarial")) => cardir_fuzz::run_ulp(seed, iters),
+        _ => usage(),
     };
     for d in &report.divergences {
         eprintln!("{d}\n");

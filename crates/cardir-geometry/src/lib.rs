@@ -40,6 +40,7 @@ pub mod line;
 pub mod point;
 pub mod polygon;
 pub mod region;
+pub mod robust;
 pub mod segment;
 pub mod wkt;
 
@@ -50,6 +51,7 @@ pub use line::Line;
 pub use point::Point;
 pub use polygon::{Polygon, PolygonError};
 pub use region::{Region, RegionError};
+pub use robust::{orient2d, orient2d_sign, RobustStats, Sign};
 pub use segment::{segments_cross_properly, segments_intersect, Segment};
 pub use wkt::{from_wkt, to_wkt, WktError};
 

@@ -1,7 +1,8 @@
 //! Simple polygons with the paper's clockwise-edge convention.
 
 use crate::bbox::BoundingBox;
-use crate::point::{orient, Point};
+use crate::point::Point;
+use crate::robust::{orient2d_sign, Sign};
 use crate::segment::{segments_intersect, Segment};
 use std::fmt;
 
@@ -136,6 +137,13 @@ impl Polygon {
     }
 
     /// The centroid (area-weighted).
+    ///
+    /// When the shoelace sum cancels to exactly zero — possible for a
+    /// perfectly valid polygon once round-off eats the area, e.g. a unit
+    /// square translated to coordinates around `2^52` — the area-weighted
+    /// formula would divide by zero and return NaN; this falls back to
+    /// the vertex average, which is the exact centroid in the limit the
+    /// cancellation represents (vanishing relative extent).
     pub fn centroid(&self) -> Point {
         let mut cx = 0.0;
         let mut cy = 0.0;
@@ -149,14 +157,20 @@ impl Polygon {
             cy += (p.y + q.y) * w;
             a += w;
         }
+        if a == 0.0 {
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, &v| acc + v);
+            return sum / n as f64;
+        }
         Point::new(cx / (3.0 * a), cy / (3.0 * a))
     }
 
     /// Returns `true` when `p` lies inside the polygon or on its boundary.
     ///
     /// Regions are closed point sets in the paper's model, so boundary
-    /// points count as contained. Boundary detection uses a tolerance
-    /// scaled to the polygon's extent.
+    /// points count as contained. Both the boundary test and the interior
+    /// parity test are **exact** — every sign decision goes through the
+    /// robust predicates in [`crate::robust`], so the answer never flips
+    /// on near-degenerate input and there is no tolerance to tune.
     pub fn contains(&self, p: Point) -> bool {
         if self.on_boundary(p) {
             return true;
@@ -164,22 +178,28 @@ impl Polygon {
         self.contains_interior_crossing(p)
     }
 
-    /// Returns `true` when `p` lies on the polygon boundary (within a
-    /// round-off tolerance scaled to the polygon's extent).
+    /// Returns `true` when `p` lies exactly on the polygon boundary.
+    ///
+    /// Exact: a point one ulp off an edge's carrier line is *not* on the
+    /// boundary. (The retired implementation used a tolerance scaled to
+    /// the polygon extent, which both misclassified near-boundary points
+    /// as boundary and — before the relative rescale — swallowed whole
+    /// micro-scale polygons.)
     pub fn on_boundary(&self, p: Point) -> bool {
-        let bb = self.bounding_box();
-        // Tolerance relative to the polygon's own extent (positive, since
-        // polygons have positive area). Flooring the scale at an absolute
-        // constant would make the tolerance larger than the whole polygon
-        // once coordinates shrink below it, turning faraway points into
-        // "boundary" points.
-        let eps = 1e-12 * bb.width().max(bb.height());
-        self.edges().any(|e| e.contains_point(p, eps))
+        self.edges().any(|e| e.contains_point(p))
     }
 
-    /// Crossing-parity interior test (boundary points give an arbitrary but
-    /// deterministic answer; use [`Polygon::contains`] for closed-set
-    /// semantics).
+    /// Exact crossing-parity interior test (points exactly on the
+    /// boundary give an arbitrary but deterministic answer; use
+    /// [`Polygon::contains`] for closed-set semantics).
+    ///
+    /// The ray is horizontal towards +x. Edges are taken half-open in `y`
+    /// (`(a.y > p.y) != (b.y > p.y)`), so a ray passing exactly through a
+    /// vertex counts the two incident edges consistently. Whether the
+    /// crossing lies strictly east of `p` is read off the exact
+    /// orientation sign instead of an interpolated `x` — interpolation
+    /// rounds, and at a shared vertex the two incident edges could round
+    /// their crossing to different sides of `p`, flipping parity twice.
     fn contains_interior_crossing(&self, p: Point) -> bool {
         let mut inside = false;
         let n = self.vertices.len();
@@ -187,8 +207,14 @@ impl Polygon {
             let a = self.vertices[i];
             let b = self.vertices[(i + 1) % n];
             if (a.y > p.y) != (b.y > p.y) {
-                let x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
-                if p.x < x_int {
+                // Upward edge: the crossing is east of `p` iff `p` is
+                // strictly left of a → b; downward: strictly right.
+                let crossing_east = if b.y > a.y {
+                    orient2d_sign(a, b, p) == Sign::Positive
+                } else {
+                    orient2d_sign(a, b, p) == Sign::Negative
+                };
+                if crossing_east {
                     inside = !inside;
                 }
             }
@@ -214,21 +240,22 @@ impl Polygon {
         true
     }
 
-    /// Returns `true` when the polygon is convex.
+    /// Returns `true` when the polygon is convex. Exact: turn directions
+    /// come from the robust orientation predicate.
     pub fn is_convex(&self) -> bool {
         let n = self.vertices.len();
-        let mut sign = 0.0f64;
+        let mut sign = Sign::Zero;
         for i in 0..n {
-            let o = orient(
+            let o = orient2d_sign(
                 self.vertices[i],
                 self.vertices[(i + 1) % n],
                 self.vertices[(i + 2) % n],
             );
-            if o != 0.0 {
-                if sign != 0.0 && o.signum() != sign {
+            if !o.is_zero() {
+                if !sign.is_zero() && o != sign {
                     return false;
                 }
-                sign = o.signum();
+                sign = o;
             }
         }
         true
@@ -420,6 +447,83 @@ mod tests {
         let r = Polygon::rectangle(bb).unwrap();
         assert_eq!(r.area(), 12.0);
         assert_eq!(r.bounding_box(), bb);
+    }
+
+    /// Regression: the shoelace sum of a perfectly valid unit square
+    /// cancels to exactly zero once translated to coordinates around
+    /// `2^40` (every cross term rounds to the same value), so the
+    /// area-weighted centroid used to divide by zero and return NaN.
+    /// The vertex-average fallback must kick in and stay near the true
+    /// centre.
+    #[test]
+    fn centroid_of_far_translated_square_is_finite() {
+        let t = 2f64.powi(40);
+        let p = unit_square().translated(t, t);
+        assert_eq!(p.signed_area(), 0.0, "premise: shoelace cancels at this offset");
+        let c = p.centroid();
+        assert!(c.is_finite(), "centroid must not be NaN, got {c}");
+        assert!((c.x - (t + 0.5)).abs() <= 1.0, "{c}");
+        assert!((c.y - (t + 0.5)).abs() <= 1.0, "{c}");
+        // Sanity: ordinary polygons keep the area-weighted formula. An
+        // L-shape's centroid differs from its vertex average.
+        let l = Polygon::from_coords([
+            (0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (1.0, 1.0), (1.0, 4.0), (0.0, 4.0),
+        ])
+        .unwrap();
+        let c = l.centroid();
+        assert!((c.x - 9.5 / 7.0).abs() < 1e-12 && (c.y - 9.5 / 7.0).abs() < 1e-12);
+    }
+
+    /// Regression for ray-cast parity at shared vertices: with the old
+    /// interpolated `x_int`, the two edges incident to a vertex whose
+    /// `y` equals the query's could round their crossing to different
+    /// sides of the query point, flipping parity twice (or zero times).
+    /// The exact orientation-based parity classifies whole rows of
+    /// lattice points through vertices correctly.
+    #[test]
+    fn parity_is_exact_through_shared_vertices() {
+        // A zig-zag lattice polygon with several vertices at y = 2.
+        let z = Polygon::from_coords([
+            (0.0, 0.0),
+            (8.0, 0.0),
+            (8.0, 2.0), // vertex at query row
+            (6.0, 4.0),
+            (4.0, 2.0), // vertex at query row (local minimum)
+            (2.0, 4.0),
+            (0.0, 2.0), // vertex at query row
+        ])
+        .unwrap();
+        // Row y = 2 passes through three vertices. Inside spans: x in
+        // (0, 4) ∪ (4, 8) — the notch at (4, 2) is a boundary point.
+        assert!(z.contains(pt(1.0, 2.0)));
+        assert!(z.contains(pt(5.0, 2.0)));
+        assert!(z.contains(pt(4.0, 2.0))); // the vertex itself: boundary
+        assert!(!z.contains(pt(-1.0, 2.0)));
+        assert!(!z.contains(pt(9.0, 2.0)));
+        // Rows through the apexes (y = 4): only boundary points remain.
+        assert!(z.contains(pt(2.0, 4.0)));
+        assert!(!z.contains(pt(3.0, 4.0)));
+        // And the same polygon at 2^40 magnitude, where the interpolated
+        // x_int of the old test rounds: parity must not flip.
+        let s = 2f64.powi(40);
+        let zs = z.scaled(s, Point::ORIGIN).unwrap();
+        assert!(zs.contains(pt(1.0 * s, 2.0 * s)));
+        assert!(zs.contains(pt(5.0 * s, 2.0 * s)));
+        assert!(!zs.contains(pt(-s, 2.0 * s)));
+        assert!(!zs.contains(pt(9.0 * s, 2.0 * s)));
+    }
+
+    /// The exact boundary test has no tolerance: points one ulp off an
+    /// edge are cleanly inside or outside, never "boundary".
+    #[test]
+    fn boundary_is_sharp_to_one_ulp() {
+        let p = unit_square();
+        let on = pt(0.5, 1.0);
+        assert!(p.on_boundary(on));
+        assert!(!p.on_boundary(pt(0.5, 1.0f64.next_up())));
+        assert!(!p.contains(pt(0.5, 1.0f64.next_up())));
+        assert!(!p.on_boundary(pt(0.5, 1.0f64.next_down())));
+        assert!(p.contains(pt(0.5, 1.0f64.next_down()))); // interior
     }
 
     /// Fuzzer-found (cardir-fuzz seed 57): the boundary tolerance was

@@ -2,6 +2,7 @@
 
 use crate::line::Line;
 use crate::point::Point;
+use crate::robust::{on_segment, orient2d_sign, Sign};
 use std::fmt;
 
 /// A directed segment from `a` to `b` — an edge `AB` in the paper's
@@ -74,6 +75,12 @@ impl Segment {
     ///
     /// Equivalently: the two endpoints do not lie strictly on opposite sides
     /// of the line.
+    ///
+    /// This classification is **exact**: the lines are axis-parallel, so
+    /// [`Line::offset`] is a single IEEE subtraction, and the sign of a
+    /// correctly rounded difference of two `f64`s is always the sign of the
+    /// exact difference (the rounding of a non-zero real cannot reach zero
+    /// or cross it). No epsilon, no robust fallback needed.
     #[inline]
     pub fn not_crossed_by(self, line: Line) -> bool {
         let oa = line.offset(self.a);
@@ -82,7 +89,8 @@ impl Segment {
     }
 
     /// Returns `true` when `line` crosses the *interior* of the segment
-    /// (endpoints strictly on opposite sides).
+    /// (endpoints strictly on opposite sides). Exact — see
+    /// [`Segment::not_crossed_by`].
     #[inline]
     pub fn crossed_by(self, line: Line) -> bool {
         let oa = line.offset(self.a);
@@ -113,13 +121,20 @@ impl Segment {
 
     /// Parameter of the interior crossing with `line` along the segment
     /// (`0 < t < 1`), if any.
+    ///
+    /// The returned parameter is clamped to `[0, 1]`. For correctly rounded
+    /// IEEE arithmetic `oa / (oa − ob)` already lands in `[0, 1]` (the
+    /// offsets have strictly opposite signs, so the rounded denominator's
+    /// magnitude is at least each numerator's), but the clamp makes the
+    /// contract independent of that analysis: a division point handed to
+    /// `divide.rs` can never lie outside the edge.
     pub fn crossing_parameter(self, line: Line) -> Option<f64> {
         if !self.crossed_by(line) {
             return None;
         }
         let oa = line.offset(self.a);
         let ob = line.offset(self.b);
-        Some(oa / (oa - ob))
+        Some((oa / (oa - ob)).clamp(0.0, 1.0))
     }
 
     /// Returns `true` when the whole segment lies on `line`.
@@ -128,56 +143,42 @@ impl Segment {
         line.contains(self.a) && line.contains(self.b)
     }
 
-    /// Returns `true` when `p` lies on the closed segment.
+    /// Returns `true` when `p` lies on the closed segment — **exactly**.
     ///
-    /// Exact for points produced by [`Segment::crossing_point`] on
-    /// axis-parallel segments; within round-off otherwise.
-    pub fn contains_point(self, p: Point, eps: f64) -> bool {
-        let d = self.direction();
-        let ap = p - self.a;
-        let len = d.norm();
-        if len == 0.0 {
-            return ap.norm() <= eps;
-        }
-        // `eps` is a distance: |cross|/|d| is the point's distance to the
-        // carrier line, so the threshold must scale by |d| alone — an
-        // absolute floor here would swallow entire segments shorter than
-        // the floor (micro-scale geometry).
-        if d.cross(ap).abs() > eps * len {
-            return false;
-        }
-        let t = ap.dot(d);
-        (-eps * len..=d.norm_sq() + eps * len).contains(&t)
+    /// Collinearity is decided by the exact orientation predicate
+    /// ([`crate::robust::orient2d_sign`]); the along-the-segment range
+    /// check is a pair of coordinate comparisons. There is no tolerance:
+    /// a point one ulp off the carrier line is off the segment, and a
+    /// micro-scale segment is never swallowed by an epsilon floor.
+    pub fn contains_point(self, p: Point) -> bool {
+        on_segment(self.a, self.b, p)
     }
 }
 
 /// Closed-segment intersection test: shared endpoints, collinear overlap
-/// and interior crossings all count.
+/// and interior crossings all count. Exact: every sign comes from the
+/// robust orientation predicate.
 pub fn segments_intersect(s: Segment, t: Segment) -> bool {
-    use crate::point::orient;
-    let d1 = orient(t.a, t.b, s.a);
-    let d2 = orient(t.a, t.b, s.b);
-    let d3 = orient(s.a, s.b, t.a);
-    let d4 = orient(s.a, s.b, t.b);
-    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
-        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
-    {
+    let d1 = orient2d_sign(t.a, t.b, s.a);
+    let d2 = orient2d_sign(t.a, t.b, s.b);
+    let d3 = orient2d_sign(s.a, s.b, t.a);
+    let d4 = orient2d_sign(s.a, s.b, t.b);
+    if !d1.is_zero() && d2 == d1.flipped() && !d3.is_zero() && d4 == d3.flipped() {
         return true;
     }
-    let on = |d: f64, seg: Segment, p: Point| d == 0.0 && seg.contains_point(p, 0.0);
+    let on = |d: Sign, seg: Segment, p: Point| d.is_zero() && seg.contains_point(p);
     on(d1, t, s.a) || on(d2, t, s.b) || on(d3, s, t.a) || on(d4, s, t.b)
 }
 
 /// Proper-crossing test: the *interiors* of both segments cross (touches
-/// at endpoints and collinear overlaps do not count).
+/// at endpoints and collinear overlaps do not count). Exact — same sign
+/// source as [`segments_intersect`].
 pub fn segments_cross_properly(s: Segment, t: Segment) -> bool {
-    use crate::point::orient;
-    let d1 = orient(t.a, t.b, s.a);
-    let d2 = orient(t.a, t.b, s.b);
-    let d3 = orient(s.a, s.b, t.a);
-    let d4 = orient(s.a, s.b, t.b);
-    ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
-        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    let d1 = orient2d_sign(t.a, t.b, s.a);
+    let d2 = orient2d_sign(t.a, t.b, s.b);
+    let d3 = orient2d_sign(s.a, s.b, t.a);
+    let d4 = orient2d_sign(s.a, s.b, t.b);
+    !d1.is_zero() && d2 == d1.flipped() && !d3.is_zero() && d4 == d3.flipped()
 }
 
 impl fmt::Display for Segment {
@@ -301,10 +302,40 @@ mod tests {
     #[test]
     fn contains_point_on_segment() {
         let s = seg(0.0, 0.0, 4.0, 2.0);
-        assert!(s.contains_point(pt(2.0, 1.0), 1e-12));
-        assert!(s.contains_point(pt(0.0, 0.0), 1e-12));
-        assert!(s.contains_point(pt(4.0, 2.0), 1e-12));
-        assert!(!s.contains_point(pt(2.0, 1.1), 1e-12));
-        assert!(!s.contains_point(pt(5.0, 2.5), 1e-12)); // collinear but beyond B
+        assert!(s.contains_point(pt(2.0, 1.0)));
+        assert!(s.contains_point(pt(0.0, 0.0)));
+        assert!(s.contains_point(pt(4.0, 2.0)));
+        assert!(!s.contains_point(pt(2.0, 1.1)));
+        assert!(!s.contains_point(pt(5.0, 2.5))); // collinear but beyond B
+        // Exact: one ulp off the carrier line is off the segment.
+        assert!(!s.contains_point(pt(2.0, 1.0f64.next_up())));
+        assert!(!s.contains_point(pt(2.0, 1.0f64.next_down())));
+    }
+
+    /// Regression for the `crossing_parameter` contract: the parameter is
+    /// clamped to `[0, 1]`, so the division points that `divide.rs` lerps
+    /// from it can never land outside the edge — including at `2^±40`
+    /// magnitudes where the offsets round hardest.
+    #[test]
+    fn crossing_parameter_stays_in_unit_interval_at_extreme_magnitudes() {
+        for exp in [-40, 0, 40] {
+            let s = 2f64.powi(exp);
+            // Segments barely poking across a line: the crossing sits a
+            // hair inside an endpoint, where rounding pressure on
+            // oa / (oa - ob) is worst.
+            for (a, b, line) in [
+                (pt(-3.0 * s, s), pt(s * 1e-9, s + s * 1e-9), Line::Vertical(0.0)),
+                (pt(-(s * 1e-9), s), pt(3.0 * s, 2.0 * s), Line::Vertical(0.0)),
+                (pt(s, -(s * 1e-9)), pt(2.0 * s, 3.0 * s), Line::Horizontal(0.0)),
+            ] {
+                let edge = Segment::new(a, b);
+                let t = edge.crossing_parameter(line).expect("genuine crossing");
+                assert!((0.0..=1.0).contains(&t), "exp {exp}: t = {t}");
+                // The lerped division point must lie within the edge's box.
+                let p = a.lerp(b, t);
+                assert!(p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x), "exp {exp}");
+                assert!(p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y), "exp {exp}");
+            }
+        }
     }
 }

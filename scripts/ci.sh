@@ -11,16 +11,24 @@ cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Telemetry smoke: the throughput bench must emit machine-readable JSON
-# lines that the workspace's own parser accepts.
+# lines that the workspace's own parser accepts, and the robust-predicate
+# counters must flow through the telemetry registry into that emission
+# (geometry.exact_fallback is the series dashboards watch).
 bench_json="$(mktemp /tmp/bench.XXXXXX.json)"
 trap 'rm -f "$bench_json"' EXIT
 cargo run --release --offline -p cardir-bench --bin engine_throughput -- 100 --json "$bench_json" > /dev/null
-cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json"
+cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json" \
+    --require geometry.exact_fallback --require geometry.orient2d_calls
 
 # Differential-fuzz smoke: 500 deterministic adversarial scenarios
 # cross-checked across the whole stack; any divergence or panic fails the
 # gate and prints its replayable seed.
 cargo run --offline -p cardir-fuzz -- --iters 500 --seed 1
+
+# Ulp-adversarial smoke: 250 seeds of geometry nudged 1-4 ulps around the
+# reference's grid lines, cross-validated against the clipping baseline
+# and audited against predicate-level ground truth.
+cargo run --offline -p cardir-fuzz -- --family ulp --iters 250 --seed 1
 
 # Fault-injection smoke: seeded failpoint arming during differential runs
 # (accounting closure, bit-identical survivors, torn-write recovery),
