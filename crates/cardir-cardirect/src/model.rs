@@ -7,7 +7,7 @@
 //! all stored in the XML description of the configuration."
 
 use cardir_core::{compute_cdr, compute_cdr_pct, CardinalRelation, PercentageMatrix};
-use cardir_engine::{BatchEngine, BatchStats, EngineMode, RegionCache};
+use cardir_engine::{BatchEngine, BatchStats, EngineMode, JoinStrategy, RegionCache};
 use cardir_geometry::Region;
 use std::collections::HashMap;
 use std::fmt;
@@ -222,17 +222,22 @@ impl Configuration {
     /// the user presses "compute relations". Replaces previously stored
     /// relations.
     ///
-    /// Runs on the batch engine: per-region data is cached once, pairs
-    /// decidable from bounding boxes alone are short-circuited, and the
-    /// exact passes run on all available cores. The stored relations are
-    /// bit-identical to the naive `compute_cdr` double loop, in the same
-    /// primary-major order.
+    /// Runs on the batch engine's spatial-join strategy: per-region data
+    /// is cached once, an MBB sweep finds the interacting pairs in
+    /// `O(N log N + K)`, box-decided pairs are emitted straight from the
+    /// mask, and the exact passes run on all available cores. The stored
+    /// relations are bit-identical to the naive `compute_cdr` double
+    /// loop, in the same primary-major order.
     ///
     /// Returns the engine's run statistics (pairs computed, prefilter
     /// hits, edge scans) so callers can report what the press of the
     /// button cost.
     pub fn compute_all_relations(&mut self) -> BatchStats {
-        self.compute_all_relations_with(&BatchEngine::new().with_mode(EngineMode::Qualitative))
+        self.compute_all_relations_with(
+            &BatchEngine::new()
+                .with_mode(EngineMode::Qualitative)
+                .with_strategy(JoinStrategy::SpatialJoin),
+        )
     }
 
     /// [`Self::compute_all_relations`] with an explicitly configured

@@ -143,6 +143,18 @@ impl PercentageMatrix {
         PercentageMatrix { cells }
     }
 
+    /// The matrix with 100% in a single tile: what a pair whose relation
+    /// is box-decided must report without running the area accumulation.
+    ///
+    /// Bit-identical to accumulating the primary's whole area into `tile`
+    /// and converting: [`from_areas`](Self::from_areas) divides before
+    /// scaling, so any positive stand-in area yields exactly `100.0`.
+    pub fn single_tile(tile: Tile) -> Self {
+        let mut areas = TileAreas::default();
+        *areas.get_mut(tile) = 1.0;
+        PercentageMatrix::from_areas(areas)
+    }
+
     /// Percentage for one tile.
     pub fn get(&self, t: Tile) -> f64 {
         let (row, col) = t.matrix_position();
@@ -382,6 +394,23 @@ mod tests {
         assert_eq!(cells.iter().sum::<i64>(), 100, "{rendered}");
         assert_eq!(cells.iter().filter(|&&c| c == 15).count(), 2, "{rendered}");
         assert_eq!(cells.iter().filter(|&&c| c == 14).count(), 5, "{rendered}");
+    }
+
+    #[test]
+    fn single_tile_is_bit_identical_to_accumulated_areas() {
+        for t in ALL_TILES {
+            let fast = PercentageMatrix::single_tile(t);
+            // Any positive area accumulated entirely into one tile must
+            // convert to the same matrix, bit for bit — this is what lets
+            // box-decided pairs skip the accumulation entirely.
+            for area in [1.0, 0.125, 3.7e11, 6.626e-34] {
+                let mut a = TileAreas::default();
+                *a.get_mut(t) = area;
+                assert_eq!(fast, a.percentages(), "tile {t:?}, area {area}");
+            }
+            assert_eq!(fast.get(t), 100.0);
+            assert_eq!(fast.sum(), 100.0);
+        }
     }
 
     #[test]

@@ -30,13 +30,14 @@
 //! single relaxed atomic load when unarmed.
 
 use crate::cache::RegionCache;
+use crate::join::JoinStrategy;
 use crate::metrics::EngineMetrics;
 use crate::policy::{
     BatchOutcome, CompletionStatus, FaultTally, PairError, PairFailure, PairOutcome, RunPolicy,
 };
 use crate::prefilter::{decided_tile, exact_mask, ExactMask};
 use cardir_core::{
-    compute_cdr_with_mbb, tile_areas_with_mbb, CardinalRelation, PercentageMatrix, Tile, TileAreas,
+    compute_cdr_with_mbb, tile_areas_with_mbb, CardinalRelation, PercentageMatrix, Tile,
 };
 use cardir_faults::{sites, FaultAction};
 use cardir_telemetry::{Histogram, DURATION_BOUNDS_NS};
@@ -152,6 +153,7 @@ pub struct BatchEngine {
     mode: EngineMode,
     detailed_metrics: bool,
     prefilter: bool,
+    strategy: JoinStrategy,
 }
 
 /// Errors from the engine's fallible entry points.
@@ -200,6 +202,7 @@ impl BatchEngine {
             mode: EngineMode::Qualitative,
             detailed_metrics: false,
             prefilter: true,
+            strategy: JoinStrategy::AllPairs,
         }
     }
 
@@ -236,9 +239,25 @@ impl BatchEngine {
         self
     }
 
+    /// Sets how [`BatchEngine::run_all`] (and the entry points built on
+    /// it) enumerates the pair space. [`JoinStrategy::AllPairs`] walks
+    /// every ordered pair; [`JoinStrategy::SpatialJoin`] discovers the
+    /// interacting pairs with an MBB sweep and emits the rest straight
+    /// from the box mask. Successful relations are bit-identical either
+    /// way.
+    pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Worker threads this engine will use.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured pair-enumeration strategy.
+    pub fn strategy(&self) -> JoinStrategy {
+        self.strategy
     }
 
     /// Whether the MBB prefilter is enabled.
@@ -271,6 +290,9 @@ impl BatchEngine {
     /// everything. With the default policy the successful relations are
     /// bit-identical to [`BatchEngine::compute_all`].
     pub fn run_all(&self, cache: &RegionCache<'_>, policy: &RunPolicy) -> BatchOutcome {
+        if self.strategy == JoinStrategy::SpatialJoin {
+            return self.run_join(cache, policy).materialize(cache);
+        }
         let n = cache.len();
         if n < 2 {
             return self.empty_outcome(cache);
@@ -355,7 +377,7 @@ impl BatchEngine {
     }
 
     /// The outcome of a run over fewer than two regions (or zero pairs).
-    fn empty_outcome(&self, cache: &RegionCache<'_>) -> BatchOutcome {
+    pub(crate) fn empty_outcome(&self, cache: &RegionCache<'_>) -> BatchOutcome {
         let stats = BatchStats { threads: self.threads, ..BatchStats::default() };
         BatchOutcome {
             pairs: Vec::new(),
@@ -378,7 +400,7 @@ impl BatchEngine {
     /// each chunk; chunks never claimed are assembled as
     /// [`PairOutcome::Skipped`] in their input-order slots, so the output
     /// vector always has one entry per requested pair.
-    fn run<F>(
+    pub(crate) fn run<F>(
         &self,
         cache: &RegionCache<'_>,
         masks: &[ExactMask],
@@ -530,6 +552,7 @@ impl BatchEngine {
             per_thread_pairs: per_thread.iter().map(|p| p.load(Ordering::Relaxed)).collect(),
             chunk_durations_ns: chunk_hist.map(|h| h.snapshot()),
             faults: totals.faults,
+            join: None,
         };
         BatchOutcome { pairs, status, succeeded, failed, skipped, stats, metrics }
     }
@@ -633,13 +656,13 @@ fn attempt_pair(
 
 /// Per-chunk counter block carried back with each finished chunk.
 #[derive(Debug, Clone, Copy, Default)]
-struct Tally {
+pub(crate) struct Tally {
     /// Pairs the prefilter fully decided.
-    hits: usize,
+    pub(crate) hits: usize,
     /// Primary edges scanned by exact computations.
-    edges_scanned: usize,
+    pub(crate) edges_scanned: usize,
     /// Fault events observed while computing this chunk.
-    faults: FaultTally,
+    pub(crate) faults: FaultTally,
 }
 
 /// Computes one ordered pair, taking the MBB short-circuit when sound,
@@ -657,53 +680,7 @@ fn compute_pair(
     if i != j && !mask.needs_exact(i) {
         let tile = decided_tile(cache.mbb(i), cache.mbb(j))
             .expect("prefilter cleared the pair, so the primary box is strictly inside one tile");
-        let relation =
-            CardinalRelation::from_bits(tile.bit()).expect("every single tile is a valid relation");
-        match mode {
-            EngineMode::Qualitative => {
-                tally.hits += 1;
-                PairRelation {
-                    primary: i,
-                    reference: j,
-                    relation,
-                    percentages: None,
-                    via_prefilter: true,
-                }
-            }
-            EngineMode::Quantitative => {
-                if tile != Tile::N {
-                    // A primary strictly inside one tile puts 100 % there.
-                    // `PercentageMatrix::from_areas` normalises x/x to
-                    // exactly 100.0, so any positive stand-in area yields
-                    // the same bits as the full accumulation.
-                    let mut areas = TileAreas::default();
-                    *areas.get_mut(tile) = 1.0;
-                    tally.hits += 1;
-                    PairRelation {
-                        primary: i,
-                        reference: j,
-                        relation,
-                        percentages: Some(areas.percentages()),
-                        via_prefilter: true,
-                    }
-                } else {
-                    // The B tile's area is derived from the N accumulator
-                    // (area(B) = |a_{B+N}| − |a_N|), so an all-N primary
-                    // can leave last-ulp residue in B. Take the exact path
-                    // for the matrix to stay bit-identical; the relation
-                    // is still the prefilter's.
-                    tally.edges_scanned += cache.edge_count(i);
-                    let m = tile_areas_with_mbb(cache.region(i), cache.mbb(j)).percentages();
-                    PairRelation {
-                        primary: i,
-                        reference: j,
-                        relation,
-                        percentages: Some(m),
-                        via_prefilter: false,
-                    }
-                }
-            }
-        }
+        emit_decided(cache, i, j, tile, mode, tally)
     } else {
         let mbb = cache.mbb(j);
         tally.edges_scanned += cache.edge_count(i);
@@ -717,6 +694,59 @@ fn compute_pair(
             }
         };
         PairRelation { primary: i, reference: j, relation, percentages, via_prefilter: false }
+    }
+}
+
+/// Emits the relation for a pair the boxes alone decide: the primary's
+/// MBB lies strictly inside `tile` of the reference's grid. Shared by the
+/// all-pairs short-circuit above and the spatial join's mask-emit path,
+/// so the two strategies are bit-identical on decided pairs by
+/// construction.
+pub(crate) fn emit_decided(
+    cache: &RegionCache<'_>,
+    i: usize,
+    j: usize,
+    tile: Tile,
+    mode: EngineMode,
+    tally: &mut Tally,
+) -> PairRelation {
+    let relation = CardinalRelation::single(tile);
+    match mode {
+        EngineMode::Qualitative => {
+            tally.hits += 1;
+            PairRelation { primary: i, reference: j, relation, percentages: None, via_prefilter: true }
+        }
+        EngineMode::Quantitative => {
+            if tile != Tile::N {
+                // A primary strictly inside one tile puts 100 % there.
+                // `PercentageMatrix::from_areas` normalises x/x to exactly
+                // 100.0, so the single-tile matrix has the same bits as
+                // the full accumulation.
+                tally.hits += 1;
+                PairRelation {
+                    primary: i,
+                    reference: j,
+                    relation,
+                    percentages: Some(PercentageMatrix::single_tile(tile)),
+                    via_prefilter: true,
+                }
+            } else {
+                // The B tile's area is derived from the N accumulator
+                // (area(B) = |a_{B+N}| − |a_N|), so an all-N primary
+                // can leave last-ulp residue in B. Take the exact path
+                // for the matrix to stay bit-identical; the relation
+                // is still the prefilter's.
+                tally.edges_scanned += cache.edge_count(i);
+                let m = tile_areas_with_mbb(cache.region(i), cache.mbb(j)).percentages();
+                PairRelation {
+                    primary: i,
+                    reference: j,
+                    relation,
+                    percentages: Some(m),
+                    via_prefilter: false,
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,537 @@
+//! The MBB spatial join: sub-quadratic batch relations.
+//!
+//! [`BatchEngine::run_all`] enumerates all `N·(N−1)` ordered pairs even
+//! though the prefilter then decides ~95 % of them from boxes alone — at
+//! 100k regions the enumeration loop itself is the ceiling. The join
+//! inverts the filter: instead of asking "is this pair decided?" once per
+//! pair, two plane sweeps over the region MBBs (see
+//! [`cardir_index::sweep_stabs`]) discover the *interacting* pairs — the
+//! ones a grid-line contact sends down the exact pipeline — in
+//! `O(N log N + K)` for `K` interacting pairs. That partitions the pair
+//! space exactly as the per-pair prefilter would:
+//!
+//! - **mask-emitted** — the `N·(N−1) − K` non-interacting pairs. Their
+//!   primary box lies strictly inside one tile of the reference grid, so
+//!   their relation is the single-tile relation, emitted by the same
+//!   [`emit_decided`] the all-pairs short-circuit uses. These pairs are
+//!   never enumerated as work items.
+//! - **exact** — the `K` interacting pairs, which flow through the
+//!   existing chunked worker pipeline (retries, panic isolation,
+//!   deadline/cancel) unchanged.
+//!
+//! [`BatchEngine::run_join`] returns the compact [`JoinOutcome`]: the `K`
+//! exact outcomes plus counters, with memory bounded by the interacting
+//! set, so a 100k-region map never materialises ten billion pairs.
+//! [`JoinOutcome::materialize`] expands to the full [`BatchOutcome`] when
+//! the caller really wants every ordered pair — bit-identical to
+//! [`BatchEngine::run_all`] under [`JoinStrategy::AllPairs`].
+//!
+//! ## Equivalence with the per-pair prefilter
+//!
+//! `decided_tile(mbb(i), mbb(j))` is `None` exactly when `i`'s closed
+//! x-interval contains `j.min.x` or `j.max.x`, or `i`'s closed y-interval
+//! contains `j.min.y` or `j.max.y` (strict-band case analysis: touching
+//! or straddling an endpoint on an axis is precisely closed containment
+//! of that endpoint). Each sweep reports exactly those containments, so
+//! the union of the two sweeps, deduplicated, is exactly the pair set the
+//! R-tree masks flag — and `join.candidates` (one count per
+//! interval/grid-coordinate contact, self-contacts included) equals the
+//! masks' `rtree_candidates` sum.
+//!
+//! ## Fault semantics
+//!
+//! `RunPolicy` applies to the exact subset, which is the only part that
+//! does real work. Mask-emitted pairs cost `O(1)` each and are emitted
+//! regardless of deadline or cancellation — a cancelled join still
+//! reports them as succeeded, while the all-pairs engine would have
+//! skipped them along with everything else. Likewise the
+//! `engine.pair.compute` failpoint only fires for exact work items:
+//! emitted pairs never were work items. Panic isolation still covers
+//! emission itself (each emit runs under `catch_unwind` during
+//! materialisation when the policy isolates).
+
+use crate::batch::{emit_decided, BatchEngine, BatchStats, EngineMode, PairRelation, Tally};
+use crate::cache::RegionCache;
+use crate::metrics::EngineMetrics;
+use crate::policy::{
+    BatchOutcome, CompletionStatus, PairError, PairFailure, PairOutcome, RunPolicy,
+};
+use crate::prefilter::{decided_tile, ExactMask};
+use cardir_index::{sweep_stabs, Interval};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// How [`BatchEngine::run_all`] enumerates the pair space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Enumerate every ordered pair and let the per-pair prefilter
+    /// short-circuit the decided ones. `O(N²)` enumeration; the default.
+    AllPairs,
+    /// Discover the interacting pairs with an MBB sweep and emit the
+    /// rest straight from the box mask without enumerating them.
+    /// `O(N log N + K)` discovery. Successful relations are bit-identical
+    /// to [`JoinStrategy::AllPairs`].
+    SpatialJoin,
+}
+
+/// The join's partition counters, exported as `join.*` telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinStats {
+    /// Interval/grid-coordinate contacts visited by the two sweeps
+    /// (self-contacts included) — the sweep analogue of
+    /// [`BatchStats::rtree_candidates`], and equal to it by construction.
+    pub candidates: usize,
+    /// Ordered pairs answered straight from the box mask, never
+    /// enumerated as work items: `N·(N−1) − K`.
+    pub mask_emitted: usize,
+    /// Ordered pairs routed to the exact per-pair pipeline: `K`.
+    pub exact_pairs: usize,
+}
+
+/// Discovers every interacting ordered pair `(i, j)`, `i ≠ j` — the
+/// pairs whose relation the boxes alone cannot decide
+/// ([`decided_tile`] is `None`) — with one plane sweep per axis, plus
+/// the total contact count (the `join.candidates` counter).
+///
+/// The pairs come back sorted primary-major (ascending `i`, then `j`),
+/// each exactly once. Cost: `O(N log N + K)` time, `O(K)` memory.
+pub fn interacting_pairs(cache: &RegionCache<'_>) -> (Vec<(u32, u32)>, usize) {
+    let n = cache.len();
+    assert!(u32::try_from(n).is_ok(), "the join packs region indices into u32 pairs");
+    let mut candidates = 0usize;
+    // Packed (i << 32 | j) so sort + dedup run on plain u64s. A pair can
+    // be reported up to four times (each of j's two grid coordinates per
+    // axis), so dedup is required, not just cosmetic.
+    let mut packed: Vec<u64> = Vec::new();
+    let mut axis = |coord: &dyn Fn(usize) -> (f64, f64)| {
+        let intervals: Vec<Interval> =
+            (0..n).map(|i| { let (lo, hi) = coord(i); Interval::new(lo, hi) }).collect();
+        let mut points = Vec::with_capacity(2 * n);
+        for iv in &intervals {
+            points.push(iv.lo);
+            points.push(iv.hi);
+        }
+        sweep_stabs(&intervals, &points, &mut |i, p| {
+            candidates += 1;
+            let j = p / 2;
+            if i != j {
+                packed.push(((i as u64) << 32) | j as u64);
+            }
+        });
+    };
+    axis(&|i| { let b = cache.mbb(i); (b.min.x, b.max.x) });
+    axis(&|i| { let b = cache.mbb(i); (b.min.y, b.max.y) });
+    packed.sort_unstable();
+    packed.dedup();
+    let pairs = packed.into_iter().map(|w| ((w >> 32) as u32, (w & 0xFFFF_FFFF) as u32)).collect();
+    (pairs, candidates)
+}
+
+/// Result of [`BatchEngine::run_join`]: the exact subset's outcomes plus
+/// the partition accounting, *without* the mask-emitted pairs — memory
+/// is bounded by the interacting set, not by `N²`.
+///
+/// The mask-emitted pairs are counted as succeeded (their relation is
+/// proven by the boxes; producing it is `O(1)`); call
+/// [`materialize`](JoinOutcome::materialize) to actually expand them.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// Number of regions in the cache.
+    pub regions: usize,
+    /// One outcome per interacting pair, sorted primary-major — the
+    /// exact subset only.
+    pub interacting: Vec<PairOutcome>,
+    /// The partition counters (also in `metrics.join`).
+    pub join: JoinStats,
+    /// How the exact pass ended; mask emission cannot fail or stop.
+    pub status: CompletionStatus,
+    /// Mask-emitted pairs plus exact successes.
+    pub succeeded: usize,
+    /// Exact pairs that failed permanently.
+    pub failed: usize,
+    /// Exact pairs skipped by deadline/cancel.
+    pub skipped: usize,
+    /// Counter block over the whole pair space (`stats.pairs == N·(N−1)`;
+    /// `rtree_candidates` carries the sweep's contact count).
+    pub stats: BatchStats,
+    /// Stage timings of the run; `mask_build` holds the sweep discovery
+    /// time and `metrics.join` is `Some`.
+    pub metrics: EngineMetrics,
+    mode: EngineMode,
+    panic_isolation: bool,
+}
+
+impl JoinOutcome {
+    /// Total ordered pairs of the configuration
+    /// (`succeeded + failed + skipped`).
+    pub fn total(&self) -> usize {
+        if self.regions < 2 {
+            0
+        } else {
+            self.regions * (self.regions - 1)
+        }
+    }
+
+    /// Expands to the full [`BatchOutcome`]: every ordered pair in
+    /// primary-major order, mask-emitted relations produced by the same
+    /// [`emit_decided`] path the all-pairs engine uses — bit-identical
+    /// results by construction. Allocates `O(N²)`; large maps should
+    /// consume [`JoinOutcome::interacting`] directly instead.
+    pub fn materialize(self, cache: &RegionCache<'_>) -> BatchOutcome {
+        let JoinOutcome {
+            regions: n,
+            interacting,
+            join: _,
+            status,
+            succeeded,
+            failed,
+            skipped,
+            mut stats,
+            mut metrics,
+            mode,
+            panic_isolation,
+        } = self;
+        let total = if n < 2 { 0 } else { n * (n - 1) };
+        let mut pairs = Vec::with_capacity(total);
+        let mut tally = Tally::default();
+        let mut exact = interacting.into_iter().peekable();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // The exact subset is sorted primary-major like this
+                // double loop, so one peek decides which side owns (i, j).
+                if exact.peek().is_some_and(|p| p.indices() == (i, j)) {
+                    pairs.push(exact.next().expect("peeked"));
+                } else {
+                    pairs.push(emit_pair(cache, i, j, mode, panic_isolation, &mut tally));
+                }
+            }
+        }
+        debug_assert!(exact.peek().is_none(), "every interacting pair was consumed");
+
+        // Emission can itself fail (an isolated panic in the quantitative
+        // N-tile fallback): move those pairs from succeeded to failed.
+        let emit_failed = tally.faults.failed_pairs;
+        let succeeded = succeeded - emit_failed;
+        let failed = failed + emit_failed;
+        let status = if emit_failed > 0 && status == CompletionStatus::Complete {
+            CompletionStatus::PartialPanics
+        } else {
+            status
+        };
+        stats.prefilter_hits += tally.hits;
+        stats.edges_scanned += tally.edges_scanned;
+        stats.exact_pairs = succeeded - stats.prefilter_hits;
+        metrics.faults.merge(&tally.faults);
+        metrics.stats = stats;
+        BatchOutcome { pairs, status, succeeded, failed, skipped, stats, metrics }
+    }
+}
+
+/// Emits one mask-decided pair during materialisation, under the same
+/// panic-isolation contract as the worker pipeline.
+fn emit_pair(
+    cache: &RegionCache<'_>,
+    i: usize,
+    j: usize,
+    mode: EngineMode,
+    isolate: bool,
+    tally: &mut Tally,
+) -> PairOutcome {
+    if !isolate {
+        return PairOutcome::Ok(emit_checked(cache, i, j, mode, tally));
+    }
+    match catch_unwind(AssertUnwindSafe(|| emit_checked(cache, i, j, mode, tally))) {
+        Ok(pr) => PairOutcome::Ok(pr),
+        Err(payload) => {
+            tally.faults.panics_caught += 1;
+            tally.faults.failed_pairs += 1;
+            PairOutcome::Failed(PairError {
+                primary: i,
+                reference: j,
+                failure: PairFailure::Panicked(cardir_faults::panic_message(payload)),
+                attempts: 1,
+            })
+        }
+    }
+}
+
+/// Re-derives the decided tile and emits: the sweep already proved the
+/// pair non-interacting, so `decided_tile` cannot be `None` here.
+fn emit_checked(
+    cache: &RegionCache<'_>,
+    i: usize,
+    j: usize,
+    mode: EngineMode,
+    tally: &mut Tally,
+) -> PairRelation {
+    let tile = decided_tile(cache.mbb(i), cache.mbb(j))
+        .expect("the sweep routed every interacting pair to the exact set");
+    emit_decided(cache, i, j, tile, mode, tally)
+}
+
+impl BatchEngine {
+    /// Computes every ordered pair under `policy` via the spatial join,
+    /// returning the compact [`JoinOutcome`]: exact outcomes for the `K`
+    /// interacting pairs, counters for the rest. Memory is `O(K)`, not
+    /// `O(N²)`.
+    ///
+    /// With the prefilter disabled there is nothing sound to emit from,
+    /// so every ordered pair becomes an exact work item (and
+    /// `join.candidates` is 0, mirroring `rtree_candidates` under the
+    /// all-pairs strategy).
+    pub fn run_join(&self, cache: &RegionCache<'_>, policy: &RunPolicy) -> JoinOutcome {
+        let n = cache.len();
+        if n < 2 {
+            let sub = self.empty_outcome(cache);
+            let mut metrics = sub.metrics;
+            metrics.join = Some(JoinStats::default());
+            return JoinOutcome {
+                regions: n,
+                interacting: Vec::new(),
+                join: JoinStats::default(),
+                status: sub.status,
+                succeeded: 0,
+                failed: 0,
+                skipped: 0,
+                stats: sub.stats,
+                metrics,
+                mode: self.mode(),
+                panic_isolation: policy.panic_isolation,
+            };
+        }
+        let discover_start = Instant::now();
+        let (work, candidates) = if self.prefilter() {
+            interacting_pairs(cache)
+        } else {
+            let mut all = Vec::with_capacity(n * (n - 1));
+            for i in 0..n as u32 {
+                for j in 0..n as u32 {
+                    if i != j {
+                        all.push((i, j));
+                    }
+                }
+            }
+            (all, 0)
+        };
+        let discover = discover_start.elapsed();
+        let total = n * (n - 1);
+        let join = JoinStats {
+            candidates,
+            mask_emitted: total - work.len(),
+            exact_pairs: work.len(),
+        };
+        // Zero-length masks force every work item down the exact path —
+        // which is correct: the sweep already proved each one interacting,
+        // so the per-pair prefilter could never decide it anyway.
+        let masks: Vec<ExactMask> = (0..n).map(|_| ExactMask::new(0)).collect();
+        let sub = self.run(
+            cache,
+            &masks,
+            work.len(),
+            |k| (work[k].0 as usize, work[k].1 as usize),
+            discover,
+            policy,
+        );
+        let stats = BatchStats {
+            pairs: total,
+            rtree_candidates: candidates,
+            ..sub.stats
+        };
+        let mut metrics = sub.metrics;
+        metrics.stats = stats;
+        metrics.join = Some(join);
+        JoinOutcome {
+            regions: n,
+            interacting: sub.pairs,
+            join,
+            status: sub.status,
+            succeeded: join.mask_emitted + sub.succeeded,
+            failed: sub.failed,
+            skipped: sub.skipped,
+            stats,
+            metrics,
+            mode: self.mode(),
+            panic_isolation: policy.panic_isolation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardir_geometry::{BoundingBox, Point, Region};
+    use cardir_workloads::SplitMix64;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]).unwrap()
+    }
+
+    /// Quadratic oracle: the interacting set is exactly the undecided
+    /// ordered pairs.
+    fn oracle(cache: &RegionCache<'_>) -> Vec<(u32, u32)> {
+        let n = cache.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && decided_tile(cache.mbb(i), cache.mbb(j)).is_none() {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_join_matches_oracle(regions: &[Region]) {
+        let cache = RegionCache::build(regions);
+        let (got, candidates) = interacting_pairs(&cache);
+        assert_eq!(got, oracle(&cache), "interacting set must match the quadratic oracle");
+        // Exactly once: strictly increasing packed order proves no dups.
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+        // Candidate counting matches the R-tree masks' semantics.
+        let rtree: usize =
+            (0..cache.len()).map(|j| crate::prefilter::exact_mask(&cache, j).candidates()).sum();
+        assert_eq!(candidates, rtree, "sweep contacts ≡ rtree candidates");
+    }
+
+    /// Random lattice rectangles: half-integer endpoints force plenty of
+    /// exact ties (shared grid lines, corner contact).
+    fn lattice_regions(seed: u64, n: usize) -> Vec<Region> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x0 = rng.random_range(-20i64..20) as f64 / 2.0;
+                let y0 = rng.random_range(-20i64..20) as f64 / 2.0;
+                let w = rng.random_range(1i64..12) as f64 / 2.0;
+                let h = rng.random_range(1i64..12) as f64 / 2.0;
+                rect(x0, y0, x0 + w, y0 + h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interacting_pairs_matches_oracle_on_lattice_maps() {
+        for seed in 0..30 {
+            let n = 2 + (seed as usize % 11);
+            assert_join_matches_oracle(&lattice_regions(seed, n));
+        }
+    }
+
+    #[test]
+    fn interacting_pairs_matches_oracle_on_slivers_and_contacts() {
+        // Degenerate-ish geometry: hairline slivers, shared edges, corner
+        // touches, one box containing everything.
+        let regions = vec![
+            rect(0.0, 0.0, 4.0, 4.0),
+            rect(4.0, 4.0, 6.0, 6.0),   // corner contact with 0
+            rect(0.0, 4.0, 4.0, 8.0),   // edge contact with 0
+            rect(1.0, 1.0, 3.0, 1.001), // sliver inside 0
+            rect(-10.0, -10.0, 20.0, 20.0), // contains everything
+            rect(30.0, 30.0, 31.0, 31.0),   // far away, decided vs most
+        ];
+        assert_join_matches_oracle(&regions);
+    }
+
+    #[test]
+    fn interacting_pairs_empty_and_single() {
+        let cache = RegionCache::build(std::iter::empty());
+        assert_eq!(interacting_pairs(&cache), (Vec::new(), 0));
+        let one = vec![rect(0.0, 0.0, 1.0, 1.0)];
+        let cache = RegionCache::build(&one);
+        let (pairs, candidates) = interacting_pairs(&cache);
+        assert!(pairs.is_empty(), "a single region has no ordered pairs");
+        assert_eq!(candidates, 4, "the region still contacts its own four grid coordinates");
+    }
+
+    fn map_regions(seed: u64, n: usize) -> Vec<Region> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let extent =
+            BoundingBox::new(Point::new(0.0, 0.0), Point::new(400.0, 300.0));
+        cardir_workloads::random_map(&mut rng, n, extent).into_iter().map(|m| m.region).collect()
+    }
+
+    #[test]
+    fn materialized_join_is_bit_identical_to_run_all() {
+        let regions = map_regions(11, 30);
+        let cache = RegionCache::build(&regions);
+        for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
+            for prefilter in [true, false] {
+                let engine = BatchEngine::new()
+                    .with_mode(mode)
+                    .with_threads(2)
+                    .with_prefilter(prefilter);
+                let all = engine.run_all(&cache, &RunPolicy::default());
+                let joined =
+                    engine.run_join(&cache, &RunPolicy::default()).materialize(&cache);
+                assert_eq!(joined.pairs, all.pairs, "mode {mode:?}, prefilter {prefilter}");
+                assert_eq!(joined.status, all.status);
+                assert_eq!(
+                    (joined.succeeded, joined.failed, joined.skipped),
+                    (all.succeeded, all.failed, all.skipped)
+                );
+                // All counter semantics coincide except `threads`, which
+                // reflects how many workers the (smaller) exact pass used.
+                assert_eq!(joined.stats.pairs, all.stats.pairs);
+                assert_eq!(joined.stats.prefilter_hits, all.stats.prefilter_hits);
+                assert_eq!(joined.stats.exact_pairs, all.stats.exact_pairs);
+                assert_eq!(joined.stats.edges_scanned, all.stats.edges_scanned);
+                assert_eq!(joined.stats.rtree_candidates, all.stats.rtree_candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_dispatch_runs_the_join_through_run_all() {
+        let regions = map_regions(5, 20);
+        let cache = RegionCache::build(&regions);
+        let direct = BatchEngine::new().with_threads(1).run_all(&cache, &RunPolicy::default());
+        let via = BatchEngine::new()
+            .with_threads(1)
+            .with_strategy(JoinStrategy::SpatialJoin)
+            .run_all(&cache, &RunPolicy::default());
+        assert_eq!(via.pairs, direct.pairs);
+        let join = via.metrics.join.expect("the join strategy reports its partition");
+        assert_eq!(join.mask_emitted + join.exact_pairs, direct.stats.pairs);
+        assert_eq!(join.candidates, direct.stats.rtree_candidates);
+        assert!(direct.metrics.join.is_none(), "all-pairs runs carry no join block");
+    }
+
+    #[test]
+    fn join_outcome_accounting_closes_without_materializing() {
+        let regions = map_regions(23, 40);
+        let cache = RegionCache::build(&regions);
+        let outcome = BatchEngine::new()
+            .with_threads(2)
+            .run_join(&cache, &RunPolicy::default());
+        let total = 40 * 39;
+        assert_eq!(outcome.total(), total);
+        assert_eq!(outcome.join.mask_emitted + outcome.join.exact_pairs, total);
+        assert_eq!(outcome.succeeded + outcome.failed + outcome.skipped, total);
+        assert_eq!(outcome.interacting.len(), outcome.join.exact_pairs);
+        assert_eq!(outcome.status, CompletionStatus::Complete);
+        assert!(
+            outcome.join.mask_emitted > outcome.join.exact_pairs,
+            "a scattered map is mostly mask-emitted: {:?}",
+            outcome.join
+        );
+        assert_eq!(outcome.stats.rtree_candidates, outcome.join.candidates);
+        // Every interacting outcome really is an undecided pair.
+        for p in &outcome.interacting {
+            let (i, j) = p.indices();
+            assert_eq!(decided_tile(cache.mbb(i), cache.mbb(j)), None, "pair ({i}, {j})");
+        }
+    }
+
+    #[test]
+    fn run_join_on_tiny_maps() {
+        let cache = RegionCache::build(std::iter::empty());
+        let outcome = BatchEngine::new().run_join(&cache, &RunPolicy::default());
+        assert_eq!(outcome.total(), 0);
+        assert_eq!(outcome.join, JoinStats::default());
+        let materialized = outcome.materialize(&cache);
+        assert!(materialized.pairs.is_empty());
+        assert_eq!(materialized.status, CompletionStatus::Complete);
+    }
+}

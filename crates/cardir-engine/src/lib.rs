@@ -33,12 +33,14 @@
 
 pub mod batch;
 pub mod cache;
+pub mod join;
 pub mod metrics;
 pub mod policy;
 pub mod prefilter;
 
 pub use batch::{BatchEngine, BatchResult, BatchStats, EngineError, EngineMode, PairRelation};
 pub use cache::RegionCache;
+pub use join::{interacting_pairs, JoinOutcome, JoinStats, JoinStrategy};
 pub use metrics::EngineMetrics;
 pub use policy::{
     BatchOutcome, CancelToken, CompletionStatus, FaultTally, PairError, PairFailure, PairOutcome,

@@ -10,6 +10,7 @@
 //! human report or JSON lines.
 
 use crate::batch::BatchStats;
+use crate::join::JoinStats;
 use crate::policy::FaultTally;
 use cardir_geometry::RobustStats;
 use cardir_telemetry::{HistogramSnapshot, Registry, COUNT_BOUNDS, DURATION_BOUNDS_NS};
@@ -40,6 +41,10 @@ pub struct EngineMetrics {
     /// failures, retries, failed/skipped pairs, deadline/cancel stops.
     /// All-zero ([`FaultTally::is_clean`]) on a healthy run.
     pub faults: FaultTally,
+    /// Spatial-join partition counters. `Some` only when the run went
+    /// through [`BatchEngine::run_join`](crate::BatchEngine::run_join)
+    /// (directly or via [`JoinStrategy::SpatialJoin`](crate::JoinStrategy)).
+    pub join: Option<JoinStats>,
 }
 
 impl EngineMetrics {
@@ -84,6 +89,11 @@ impl EngineMetrics {
         }
         if let Some(chunks) = &self.chunk_durations_ns {
             registry.histogram("engine.chunk_ns", &chunks.bounds).absorb(chunks);
+        }
+        if let Some(join) = &self.join {
+            registry.counter("join.candidates").add(join.candidates as u64);
+            registry.counter("join.mask_emitted").add(join.mask_emitted as u64);
+            registry.counter("join.exact_pairs").add(join.exact_pairs as u64);
         }
         if !self.faults.is_clean() {
             for (name, value) in [
@@ -164,6 +174,7 @@ mod tests {
             per_thread_pairs: vec![6, 4],
             chunk_durations_ns: None,
             faults: FaultTally::default(),
+            join: None,
         };
         let registry = Registry::new();
         m.export(&registry);
@@ -172,6 +183,9 @@ mod tests {
         assert_eq!(snap.counter("engine.runs"), Some(2));
         assert_eq!(snap.counter("engine.pairs"), Some(20));
         assert_eq!(snap.counter("engine.edges_scanned"), Some(128));
+        // An all-pairs run carries no join partition: the series must not
+        // appear at all rather than report zeros.
+        assert_eq!(snap.counter("join.candidates"), None);
         assert_eq!(snap.histogram("engine.exact_pass_ns").unwrap().count, 2);
         assert_eq!(snap.histogram("engine.thread_pairs").unwrap().count, 4);
         assert!(snap.histogram("engine.chunk_ns").is_none());
@@ -179,6 +193,21 @@ mod tests {
         // predicate calls happened between exports.
         assert!(snap.counter("geometry.orient2d_calls").is_some());
         assert!(snap.counter("geometry.exact_fallback").is_some());
+    }
+
+    #[test]
+    fn export_writes_join_namespace_when_joined() {
+        let _guard = EXPORT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let m = EngineMetrics {
+            join: Some(JoinStats { candidates: 40, mask_emitted: 85, exact_pairs: 5 }),
+            ..EngineMetrics::default()
+        };
+        let registry = Registry::new();
+        m.export(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("join.candidates"), Some(40));
+        assert_eq!(snap.counter("join.mask_emitted"), Some(85));
+        assert_eq!(snap.counter("join.exact_pairs"), Some(5));
     }
 
     #[test]

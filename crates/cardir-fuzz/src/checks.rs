@@ -7,7 +7,9 @@ use cardir_core::{
     clipping_cdr, compute_cdr, compute_cdr_with_mbb, tile_areas, tile_areas_with_mbb,
     try_compute_cdr_with_mbb, ALL_TILES,
 };
-use cardir_engine::{BatchEngine, EngineMode, RegionCache};
+use cardir_engine::{
+    decided_tile, exact_mask, interacting_pairs, BatchEngine, EngineMode, RegionCache, RunPolicy,
+};
 use cardir_geometry::robust::{on_segment, orient2d_sign, Sign};
 use cardir_geometry::{to_wkt, Point, Polygon, Region, Segment};
 use cardir_workloads::SplitMix64;
@@ -125,6 +127,129 @@ pub fn check_engine(regions: &[Region]) -> Option<Failure> {
                             pair.relation, pair.percentages
                         ),
                     );
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks the spatial-join path on the scenario:
+///
+/// 1. **Partition oracle** — the sweep's interacting set equals the set
+///    of ordered pairs `decided_tile` cannot decide, and the sweep's
+///    contact count equals the R-tree masks' candidate sum.
+/// 2. **Mask ground truth** — every pair the join would emit straight
+///    from the boxes carries the single-tile relation `compute_cdr`
+///    computes from the actual geometry.
+/// 3. **Join vs all-pairs** — the materialized join is bit-identical to
+///    `run_all` (relations *and* percentage matrices) at every thread
+///    count × prefilter setting × mode, with `JoinStats` accounting that
+///    closes over the whole pair space.
+pub fn check_join(regions: &[Region]) -> Option<Failure> {
+    let cache = RegionCache::build(regions);
+    let n = regions.len();
+    let total = if n < 2 { 0 } else { n * (n - 1) };
+
+    let (interacting, candidates) = interacting_pairs(&cache);
+    let mut oracle = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && decided_tile(cache.mbb(i), cache.mbb(j)).is_none() {
+                oracle.push((i as u32, j as u32));
+            }
+        }
+    }
+    if interacting != oracle {
+        return fail(
+            "join-partition",
+            format!(
+                "sweep found {} interacting pairs, the decided_tile oracle {}: \
+                 sweep {interacting:?}\n oracle {oracle:?}",
+                interacting.len(),
+                oracle.len()
+            ),
+        );
+    }
+    let rtree: usize = (0..n).map(|j| exact_mask(&cache, j).candidates()).sum();
+    if candidates != rtree {
+        return fail(
+            "join-partition",
+            format!("sweep contact count {candidates} != r-tree candidate sum {rtree}"),
+        );
+    }
+
+    // The relation the mask would emit for each decided pair, vs the
+    // full geometric computation — the ground truth behind emitting
+    // `N·(N−1) − K` relations without ever touching an edge.
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if let Some(tile) = decided_tile(cache.mbb(i), cache.mbb(j)) {
+                let truth = compute_cdr(&regions[i], &regions[j]);
+                let emitted = cardir_core::CardinalRelation::single(tile);
+                if emitted != truth {
+                    return fail(
+                        "join-mask-vs-cdr",
+                        format!(
+                            "pair ({i}, {j}): boxes decide {emitted}, compute_cdr says {truth}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
+        for threads in [1usize, 2] {
+            for prefilter in [true, false] {
+                let label = format!("{mode:?} threads={threads} prefilter={prefilter}");
+                let engine = BatchEngine::new()
+                    .with_mode(mode)
+                    .with_threads(threads)
+                    .with_prefilter(prefilter);
+                // Same engine configuration, enumeration strategy only:
+                // `run_all` here takes the default all-pairs path.
+                let baseline = engine.run_all(&cache, &RunPolicy::default());
+                let joined = engine.run_join(&cache, &RunPolicy::default());
+                let stats = joined.join;
+                if stats.mask_emitted + stats.exact_pairs != total
+                    || joined.succeeded + joined.failed + joined.skipped != total
+                    || (prefilter && stats.exact_pairs != interacting.len())
+                    || (!prefilter && stats.mask_emitted != 0)
+                {
+                    return fail(
+                        "join-accounting",
+                        format!(
+                            "{label}: {stats:?} does not close over {total} pairs \
+                             ({} interacting; {} + {} + {})",
+                            interacting.len(),
+                            joined.succeeded,
+                            joined.failed,
+                            joined.skipped
+                        ),
+                    );
+                }
+                let out = joined.materialize(&cache);
+                if out.pairs.len() != baseline.pairs.len() {
+                    return fail(
+                        "join-vs-allpairs",
+                        format!(
+                            "{label}: {} materialized pairs, all-pairs has {}",
+                            out.pairs.len(),
+                            baseline.pairs.len()
+                        ),
+                    );
+                }
+                for (got, want) in out.pairs.iter().zip(&baseline.pairs) {
+                    if got != want {
+                        return fail(
+                            "join-vs-allpairs",
+                            format!("{label}: join {got:?}, all-pairs {want:?}"),
+                        );
+                    }
                 }
             }
         }

@@ -281,12 +281,70 @@ pub fn generate_ulp(seed: u64) -> Scenario {
     Scenario { family: "ulp-adversarial", regions }
 }
 
+// ---------------------------------------------------------------------------
+// The join-clusters family
+// ---------------------------------------------------------------------------
+
+/// Stream separator for the join generator's RNG (distinct from
+/// [`ULP_STREAM`] and the classic stream), so `--family join` draws a
+/// different sequence than the other families at the same seed.
+const JOIN_STREAM: u64 = 0xff51_afd7_u64;
+
+/// The spatial-join adversarial scenario for `seed`: a heavy MBB overlap
+/// cluster around the reference — boxes anchored to the reference's own
+/// grid lines (shared lines, touching corners), multi-rect members, and
+/// thin slivers pinned onto a grid line — plus one or two far satellites
+/// whose boxes are strictly separated, so every seed exercises *both*
+/// sides of the join's partition: mask emission and the exact pipeline.
+/// A quarter of seeds run at `2^±40` magnitude.
+pub fn generate_join(seed: u64) -> Scenario {
+    let rng = &mut SplitMix64::seed_from_u64(seed ^ JOIN_STREAM);
+    let reference = lattice_box(rng);
+    let (xs, ys) = grid_lines(reference);
+
+    let cluster = rng.random_range(3usize..=6);
+    let mut regions: Vec<Region> = (0..cluster)
+        .map(|_| match rng.random_range(0u32..4) {
+            0 | 1 => rect_region(anchored_box(rng, &xs, &ys)),
+            2 => {
+                let members = rng.random_range(2usize..=3);
+                multi_rect_region(rng, members, &xs, &ys)
+            }
+            _ => {
+                // A sliver half a unit tall pinned onto a grid line:
+                // a degenerate-MBB member of the overlap cluster.
+                let y = anchored(rng, &ys);
+                rect_region([xs[0], y, xs[1], y + 0.5])
+            }
+        })
+        .collect();
+    // Far satellites: translated whole lattice units beyond the lattice
+    // extent, so their boxes are strictly inside one outer tile of every
+    // cluster member (`k/2 ± 200` stays exact in f64).
+    for _ in 0..rng.random_range(1usize..=2) {
+        let b = lattice_box(rng);
+        let dx = if rng.random_bool(0.5) { 200.0 } else { -200.0 };
+        let dy = if rng.random_bool(0.5) { 200.0 } else { -200.0 };
+        regions.push(rect_region([b[0] + dx, b[1] + dy, b[2] + dx, b[3] + dy]));
+    }
+    regions.push(rect_region(reference));
+
+    match rng.random_range(0u32..8) {
+        0 => regions = regions.iter().map(|r| scaled(r, 2f64.powi(40))).collect(),
+        1 => regions = regions.iter().map(|r| scaled(r, 2f64.powi(-40))).collect(),
+        _ => {}
+    }
+    Scenario { family: "join-clusters", regions }
+}
+
 /// Deterministically generates the scenario for `seed`.
 ///
 /// One seed in five goes to the ulp-adversarial family through its own
 /// RNG stream; the remaining seeds keep the exact historical seed →
 /// scenario mapping of the six classic families, so pinned regression
-/// seeds (e.g. 57) still replay their original geometry.
+/// seeds (e.g. 57) still replay their original geometry. (The
+/// join-clusters family is reachable only through `--family join` /
+/// [`generate_join`], keeping this mapping frozen.)
 pub fn generate(seed: u64) -> Scenario {
     if seed.is_multiple_of(5) {
         return generate_ulp(seed);
@@ -418,6 +476,48 @@ mod tests {
         // pinned regression seed 57 still generates its original
         // micro-scale needles scenario.
         assert_eq!(generate(57).family, "needles");
+    }
+
+    /// The join family must feed both sides of the partition: on (almost)
+    /// every seed some ordered pair is box-decided (mask-emitted) *and*
+    /// some pair is undecided (routed to the exact pipeline) — otherwise
+    /// the `--family join` sweep would not actually exercise the join.
+    #[test]
+    fn join_family_exercises_both_partition_sides() {
+        use cardir_engine::{decided_tile, RegionCache};
+        let (mut with_decided, mut with_undecided, mut scaled_seeds) = (0u32, 0u32, 0u32);
+        for seed in 0..200u64 {
+            let s = generate_join(seed);
+            assert_eq!(s.family, "join-clusters");
+            assert_eq!(s.regions, generate_join(seed).regions, "seed {seed}: non-deterministic");
+            assert!(s.regions.len() >= 5, "seed {seed}");
+            for r in &s.regions {
+                assert!(r.area() > 0.0, "seed {seed}");
+                for p in r.polygons() {
+                    assert!(p.is_simple(), "seed {seed}: non-simple polygon");
+                }
+            }
+            if s.regions.iter().any(|r| r.mbb().max.x.abs() > 1_000.0) {
+                scaled_seeds += 1;
+            }
+            let cache = RegionCache::build(&s.regions);
+            let (mut any_decided, mut any_undecided) = (false, false);
+            for i in 0..cache.len() {
+                for j in 0..cache.len() {
+                    if i != j {
+                        match decided_tile(cache.mbb(i), cache.mbb(j)) {
+                            Some(_) => any_decided = true,
+                            None => any_undecided = true,
+                        }
+                    }
+                }
+            }
+            with_decided += any_decided as u32;
+            with_undecided += any_undecided as u32;
+        }
+        assert!(with_decided >= 195, "only {with_decided} / 200 seeds had mask-emitted pairs");
+        assert!(with_undecided >= 195, "only {with_undecided} / 200 seeds had exact pairs");
+        assert!(scaled_seeds > 20, "only {scaled_seeds} / 200 seeds ran at 2^±40");
     }
 
     #[test]

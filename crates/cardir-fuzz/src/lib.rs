@@ -10,6 +10,9 @@
 //!   own area),
 //! * the batch engine (every thread count, prefilter on and off) against
 //!   the naive per-pair loop, bit for bit,
+//! * the spatial join (sweep partition, mask-emitted relations, the
+//!   materialized outcome) against `decided_tile`, `compute_cdr`, and
+//!   the all-pairs engine,
 //! * XML and query round-trips on a configuration built from the
 //!   scenario.
 //!
@@ -73,6 +76,14 @@ pub fn run_seed_ulp(seed: u64) -> Vec<Divergence> {
     run_scenario(seed, gen::generate_ulp(seed))
 }
 
+/// Runs the checks for one seed *forced into the join-clusters family*:
+/// heavy MBB overlap clusters anchored to shared grid lines plus far
+/// satellites, at `2^±40` a quarter of the time. Used by the CI join
+/// sweep and the cross-validation suite.
+pub fn run_seed_join(seed: u64) -> Vec<Divergence> {
+    run_scenario(seed, gen::generate_join(seed))
+}
+
 fn run_scenario(seed: u64, scenario: gen::Scenario) -> Vec<Divergence> {
     let family = scenario.family;
     let regions = &scenario.regions;
@@ -121,6 +132,7 @@ fn run_scenario(seed: u64, scenario: gen::Scenario) -> Vec<Divergence> {
     }
 
     caught("engine", catch_unwind(AssertUnwindSafe(|| checks::check_engine(regions))));
+    caught("join", catch_unwind(AssertUnwindSafe(|| checks::check_join(regions))));
     caught("config", catch_unwind(AssertUnwindSafe(|| checks::check_config(regions))));
     if family == "ulp-adversarial" {
         caught(
@@ -147,6 +159,16 @@ pub fn run_ulp(base_seed: u64, iters: u64) -> FuzzReport {
     let mut report = FuzzReport { iterations: iters, ..FuzzReport::default() };
     for k in 0..iters {
         report.divergences.extend(run_seed_ulp(base_seed.wrapping_add(k)));
+    }
+    report
+}
+
+/// The forced-join counterpart of [`run`]: every iteration generates a
+/// join-clusters scenario (CI runs this for ≥ 200 seeds).
+pub fn run_join(base_seed: u64, iters: u64) -> FuzzReport {
+    let mut report = FuzzReport { iterations: iters, ..FuzzReport::default() };
+    for k in 0..iters {
+        report.divergences.extend(run_seed_join(base_seed.wrapping_add(k)));
     }
     report
 }
@@ -258,6 +280,26 @@ mod tests {
     /// must be divergence-free — `compute_cdr` through the exact
     /// predicates agrees with the clipping baseline, the engine, and the
     /// area accounting on geometry nudged 1–4 ulps around grid lines.
+    /// The CI join sweep in miniature: a forced join-clusters block must
+    /// be divergence-free — the sweep partition, the mask-emitted
+    /// relations, and the materialized join all agree with their oracles
+    /// on clustered, grid-anchored, extreme-magnitude geometry.
+    #[test]
+    fn join_block_is_divergence_free() {
+        let report = run_join(1, 40);
+        assert_eq!(report.iterations, 40);
+        assert!(
+            report.divergences.is_empty(),
+            "unexpected divergences:\n{}",
+            report
+                .divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
     #[test]
     fn ulp_block_is_divergence_free() {
         let report = run_ulp(1, 40);

@@ -17,13 +17,19 @@
 //! the reference's grid lines, plus the predicate-level ground-truth
 //! audit against the retired epsilon implementations.
 //!
+//! `--family join` (or `join-clusters`) forces every iteration into the
+//! spatial-join family: heavy MBB overlap clusters sharing grid lines
+//! with the reference plus strictly separated satellites, at `2^±40`
+//! magnitude a quarter of the time — the geometry that stresses the
+//! join's partition oracle and its mask-emitted relations.
+//!
 //! Exits non-zero when any divergence (or panic) is found, printing each
 //! one with its replay command.
 
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: cardir-fuzz [--seed N] [--iters M] [--faults] [--family ulp]");
+    eprintln!("usage: cardir-fuzz [--seed N] [--iters M] [--faults] [--family ulp|join]");
     std::process::exit(2)
 }
 
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
         (true, None) => cardir_fuzz::run_faults(seed, iters),
         (false, None) => cardir_fuzz::run(seed, iters),
         (false, Some("ulp" | "ulp-adversarial")) => cardir_fuzz::run_ulp(seed, iters),
+        (false, Some("join" | "join-clusters")) => cardir_fuzz::run_join(seed, iters),
         _ => usage(),
     };
     for d in &report.divergences {

@@ -28,5 +28,7 @@
 //! ```
 
 mod rtree;
+mod sweep;
 
 pub use rtree::RTree;
+pub use sweep::{sweep_stabs, Interval};

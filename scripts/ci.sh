@@ -20,6 +20,17 @@ cargo run --release --offline -p cardir-bench --bin engine_throughput -- 100 --j
 cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json" \
     --require geometry.exact_fallback --require geometry.orient2d_calls
 
+# Spatial-join smoke: the sweep-partitioned batch path must complete a
+# 10k-region map (≈ 10^8 ordered pairs, counted not materialised;
+# --compare-max 0 skips the quadratic all-pairs baseline here) and emit
+# the join.* partition counters CI dashboards track.
+join_json="$(mktemp /tmp/join.XXXXXX.json)"
+trap 'rm -f "$bench_json" "$join_json"' EXIT
+cargo run --release --offline -p cardir-bench --bin join_throughput -- 10000 \
+    --compare-max 0 --json "$join_json" > /dev/null
+cargo run --release --offline -p cardir-bench --bin json_check -- "$join_json" \
+    --require join.candidates --require join.mask_emitted --require join.exact_pairs
+
 # Differential-fuzz smoke: 500 deterministic adversarial scenarios
 # cross-checked across the whole stack; any divergence or panic fails the
 # gate and prints its replayable seed.
@@ -29,6 +40,12 @@ cargo run --offline -p cardir-fuzz -- --iters 500 --seed 1
 # reference's grid lines, cross-validated against the clipping baseline
 # and audited against predicate-level ground truth.
 cargo run --offline -p cardir-fuzz -- --family ulp --iters 250 --seed 1
+
+# Spatial-join adversarial smoke: 200 seeds of heavy MBB overlap
+# clusters on shared grid lines (with far satellites and 2^±40 scaling),
+# cross-checking the sweep partition, the mask-emitted relations, and
+# the materialized join against their per-pair oracles.
+cargo run --offline -p cardir-fuzz -- --family join --iters 200 --seed 1
 
 # Fault-injection smoke: seeded failpoint arming during differential runs
 # (accounting closure, bit-identical survivors, torn-write recovery),
