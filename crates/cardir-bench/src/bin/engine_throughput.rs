@@ -6,44 +6,92 @@
 //! ordered pairs; the exact passes measure how well the remaining edge
 //! work scales with threads.
 //!
-//! Usage: `engine_throughput [N] [--json PATH]`. The default output is
-//! the human report below; `--json` additionally writes one JSON-lines
-//! record per `(mode, threads)` cell (plus a `map` header line) through
-//! the `cardir-telemetry` sink, machine-readable for regression tracking.
+//! Usage: `engine_throughput [N] [--json PATH] [--trace PATH]
+//! [--threads T] [--mode qualitative|quantitative]`. The default output
+//! is the human report below; `--json` additionally writes one
+//! JSON-lines record per `(mode, threads)` cell (plus a `map` header
+//! line) through the `cardir-telemetry` sink, machine-readable for
+//! regression tracking. `--trace` records an execution timeline of every
+//! cell (one Perfetto process per cell, one per-worker thread track) in
+//! Chrome `trace_event` format — load it in Perfetto/`chrome://tracing`
+//! or summarise it with `trace_report`. `--threads` / `--mode` restrict
+//! the sweep to a single cell, which keeps a trace of one configuration
+//! uncluttered.
 
 use cardir_bench::SEED;
 use cardir_engine::{BatchEngine, EngineMetrics, EngineMode, RegionCache};
 use cardir_geometry::{BoundingBox, Point, Region};
-use cardir_telemetry::{Json, JsonLines, Registry};
+use cardir_telemetry::{ChromeTrace, Json, JsonLines, Registry, Tracer};
 use cardir_workloads::{random_map, SplitMix64};
 use std::hint::black_box;
 use std::time::Instant;
 
+const USAGE: &str =
+    "usage: engine_throughput [N] [--json PATH] [--trace PATH] [--threads T] [--mode qualitative|quantitative]";
+
 fn main() {
     let mut n: usize = 1000;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut only_threads: Option<usize> = None;
+    let mut only_mode: Option<EngineMode> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
         if arg == "--json" {
-            json_path = Some(args.next().unwrap_or_else(|| {
-                eprintln!("--json requires a path");
+            json_path = Some(value_of("--json"));
+        } else if arg == "--trace" {
+            trace_path = Some(value_of("--trace"));
+        } else if arg == "--threads" {
+            let raw = value_of("--threads");
+            only_threads = Some(raw.parse().unwrap_or_else(|_| {
+                eprintln!("--threads expects a count, got {raw:?}");
                 std::process::exit(2);
             }));
+        } else if arg == "--mode" {
+            only_mode = Some(match value_of("--mode").as_str() {
+                "qualitative" => EngineMode::Qualitative,
+                "quantitative" => EngineMode::Quantitative,
+                other => {
+                    eprintln!("--mode expects qualitative or quantitative, got {other:?}");
+                    std::process::exit(2);
+                }
+            });
         } else if let Ok(v) = arg.parse() {
             n = v;
         } else {
-            eprintln!("usage: engine_throughput [N] [--json PATH]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }
+    let thread_counts: Vec<usize> = match only_threads {
+        Some(t) => vec![t.max(1)],
+        None => vec![1, 2, 4, 8],
+    };
+    let modes: Vec<EngineMode> = match only_mode {
+        Some(m) => vec![m],
+        None => vec![EngineMode::Qualitative, EngineMode::Quantitative],
+    };
+    let mut chrome = trace_path.is_some().then(ChromeTrace::new);
 
     let mut rng = SplitMix64::seed_from_u64(SEED);
     let extent = BoundingBox::new(Point::new(0.0, 0.0), Point::new(4000.0, 3000.0));
     let regions: Vec<Region> = random_map(&mut rng, n, extent).into_iter().map(|m| m.region).collect();
 
+    // The cache build is its own traced process: it happens once per
+    // map, not per cell.
+    let build_tracer = if chrome.is_some() { Tracer::enabled() } else { Tracer::disabled() };
     let build_start = Instant::now();
-    let cache = RegionCache::build(&regions);
+    let cache = RegionCache::build_traced(&regions, &build_tracer);
     let build = build_start.elapsed();
+    if let Some(chrome) = &mut chrome {
+        chrome.add_process("cache_build", &build_tracer);
+    }
     println!(
         "map: {} regions, {} edges total; cache+R-tree build {:.2?}",
         cache.len(),
@@ -71,14 +119,22 @@ fn main() {
     });
 
     let mut last_metrics = EngineMetrics::default();
-    for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
+    for &mode in &modes {
         println!("\n== {mode:?} ==");
         let mut baseline = None;
-        for threads in [1usize, 2, 4, 8] {
-            let engine = BatchEngine::new().with_mode(mode).with_threads(threads);
+        for &threads in &thread_counts {
+            // A fresh tracer per cell keeps each process's timeline
+            // anchored at its own start.
+            let tracer = if chrome.is_some() { Tracer::enabled() } else { Tracer::disabled() };
+            let engine =
+                BatchEngine::new().with_mode(mode).with_threads(threads).with_tracer(tracer.clone());
             let start = Instant::now();
             let result = black_box(engine.compute_all(&cache));
             let elapsed = start.elapsed();
+            if let Some(chrome) = &mut chrome {
+                let label = format!("{} t={threads}", format!("{mode:?}").to_lowercase());
+                chrome.add_process(&label, &tracer);
+            }
             let pairs_per_sec = result.stats.pairs as f64 / elapsed.as_secs_f64();
             let speedup = match baseline {
                 None => {
@@ -119,6 +175,17 @@ fn main() {
                             Json::from(m.exact_pass.as_nanos().min(u64::MAX as u128) as u64),
                         ),
                         ("worker_balance", Json::from(m.worker_balance())),
+                        // The raw distribution worker_balance summarises:
+                        // mean/max collides across thread counts when the
+                        // chunk-granular peaks align (it did in the
+                        // committed baseline), so the auditable signal is
+                        // the per-worker array itself.
+                        (
+                            "thread_pairs",
+                            Json::Arr(
+                                m.per_thread_pairs.iter().map(|&p| Json::from(p)).collect(),
+                            ),
+                        ),
                     ]),
                 )
                 .expect("write JSON line");
@@ -159,5 +226,14 @@ fn main() {
     if let Some(sink) = &mut sink {
         sink.flush().expect("flush JSON sink");
         println!("\nwrote {}", json_path.as_deref().unwrap_or_default());
+    }
+
+    if let (Some(chrome), Some(path)) = (&chrome, trace_path.as_deref()) {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        }));
+        chrome.write_to(&mut file).expect("write trace");
+        println!("wrote {path} ({} traced processes; open in Perfetto or run trace_report)", chrome.processes.len());
     }
 }

@@ -14,15 +14,17 @@
 //! on the same map as the baseline, so the emitted record carries the
 //! measured speedup of sweep-partitioning over pair enumeration.
 //!
-//! Usage: `join_throughput [N ...] [--json PATH] [--compare-max M]`.
-//! Default sweep: N ∈ {1000, 10000, 100000}. `--json` writes one
-//! JSON-lines record per N with `"type": "join"` (the `join.*` telemetry
-//! fields CI gates on via `json_check --require`).
+//! Usage: `join_throughput [N ...] [--json PATH] [--compare-max M]
+//! [--trace PATH]`. Default sweep: N ∈ {1000, 10000, 100000}. `--json`
+//! writes one JSON-lines record per N with `"type": "join"` (the
+//! `join.*` telemetry fields CI gates on via `json_check --require`).
+//! `--trace` records each N's execution timeline (sweep discovery plus
+//! the exact pass's per-worker tracks) in Chrome `trace_event` format.
 
 use cardir_bench::SEED;
 use cardir_engine::{BatchEngine, EngineMode, JoinStrategy, RegionCache, RunPolicy};
 use cardir_geometry::{BoundingBox, Point, Region};
-use cardir_telemetry::{Json, JsonLines};
+use cardir_telemetry::{ChromeTrace, Json, JsonLines, Tracer};
 use cardir_workloads::{random_map, SplitMix64};
 use std::hint::black_box;
 use std::time::Instant;
@@ -34,12 +36,18 @@ fn ns(d: std::time::Duration) -> u64 {
 fn main() {
     let mut sizes: Vec<usize> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut compare_max: usize = 10_000;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--json" {
             json_path = Some(args.next().unwrap_or_else(|| {
                 eprintln!("--json requires a path");
+                std::process::exit(2);
+            }));
+        } else if arg == "--trace" {
+            trace_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a path");
                 std::process::exit(2);
             }));
         } else if arg == "--compare-max" {
@@ -53,13 +61,16 @@ fn main() {
         } else if let Ok(v) = arg.parse() {
             sizes.push(v);
         } else {
-            eprintln!("usage: join_throughput [N ...] [--json PATH] [--compare-max M]");
+            eprintln!(
+                "usage: join_throughput [N ...] [--json PATH] [--compare-max M] [--trace PATH]"
+            );
             std::process::exit(2);
         }
     }
     if sizes.is_empty() {
         sizes = vec![1_000, 10_000, 100_000];
     }
+    let mut chrome = trace_path.is_some().then(ChromeTrace::new);
 
     let mut sink = json_path.as_deref().map(|path| {
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
@@ -94,10 +105,15 @@ fn main() {
             .expect("write JSON line");
         }
 
-        let engine = BatchEngine::new().with_mode(EngineMode::Qualitative);
+        let tracer = if chrome.is_some() { Tracer::enabled() } else { Tracer::disabled() };
+        let engine =
+            BatchEngine::new().with_mode(EngineMode::Qualitative).with_tracer(tracer.clone());
         let start = Instant::now();
         let outcome = black_box(engine.run_join(&cache, &RunPolicy::default()));
         let elapsed = start.elapsed();
+        if let Some(chrome) = &mut chrome {
+            chrome.add_process(&format!("join N={n}"), &tracer);
+        }
         assert!(outcome.status == cardir_engine::CompletionStatus::Complete);
         let join = outcome.join;
         let relations_per_sec = total as f64 / elapsed.as_secs_f64();
@@ -155,5 +171,17 @@ fn main() {
     if let Some(sink) = &mut sink {
         sink.flush().expect("flush JSON sink");
         println!("\nwrote {}", json_path.as_deref().unwrap_or_default());
+    }
+
+    if let (Some(chrome), Some(path)) = (&chrome, trace_path.as_deref()) {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        }));
+        chrome.write_to(&mut file).expect("write trace");
+        println!(
+            "wrote {path} ({} traced processes; open in Perfetto or run trace_report)",
+            chrome.processes.len()
+        );
     }
 }

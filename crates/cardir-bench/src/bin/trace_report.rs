@@ -1,0 +1,37 @@
+//! Summarises an execution trace produced by `engine_throughput --trace`
+//! or `join_throughput --trace`: per-thread busy / queue-wait / idle
+//! percentages, the phase breakdown, and the concurrency profile whose
+//! "≤ 1 busy" share is the serialized critical path — the number that
+//! pinpoints whether a multi-threaded run actually overlapped its work.
+//!
+//! Usage: `trace_report PATH` — PATH is the Chrome `trace_event` JSON
+//! the benches write (the same file loads in Perfetto or
+//! `chrome://tracing` for the visual timeline; this bin is the offline,
+//! dependency-free reading of it).
+
+use cardir_telemetry::{ChromeTrace, ProcessAnalysis};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_report PATH");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace_report: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let trace = ChromeTrace::parse(&text).unwrap_or_else(|e| {
+        eprintln!("trace_report: {path}: {e}");
+        std::process::exit(1);
+    });
+    if trace.processes.is_empty() {
+        eprintln!("trace_report: {path}: trace holds no processes");
+        std::process::exit(1);
+    }
+    println!("{path}: {} traced process(es)\n", trace.processes.len());
+    for process in &trace.processes {
+        print!("{}", ProcessAnalysis::analyze(process).render());
+        println!();
+    }
+}

@@ -5,6 +5,8 @@
 //! plain binaries (`harness = false`) built on the same helpers, so the
 //! whole harness runs with no external crates and no network.
 
+pub mod diff;
+
 use cardir_geometry::{Point, Region};
 use cardir_workloads::{star_polygon, SplitMix64};
 use std::time::{Duration, Instant};

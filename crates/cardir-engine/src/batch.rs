@@ -40,7 +40,8 @@ use cardir_core::{
     compute_cdr_with_mbb, tile_areas_with_mbb, CardinalRelation, PercentageMatrix, Tile,
 };
 use cardir_faults::{sites, FaultAction};
-use cardir_telemetry::{Histogram, DURATION_BOUNDS_NS};
+use cardir_telemetry::trace::{phases, MAIN_TID};
+use cardir_telemetry::{Histogram, Tracer, DURATION_BOUNDS_NS};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -154,6 +155,7 @@ pub struct BatchEngine {
     detailed_metrics: bool,
     prefilter: bool,
     strategy: JoinStrategy,
+    tracer: Tracer,
 }
 
 /// Errors from the engine's fallible entry points.
@@ -203,6 +205,7 @@ impl BatchEngine {
             detailed_metrics: false,
             prefilter: true,
             strategy: JoinStrategy::AllPairs,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -248,6 +251,25 @@ impl BatchEngine {
     pub fn with_strategy(mut self, strategy: JoinStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Attaches an execution [`Tracer`]: every stage of the pipeline —
+    /// mask build, sweep discovery, per-worker queue-wait and chunk
+    /// compute, join materialisation — records timeline spans into it,
+    /// tagged with thread and chunk ids, ready for
+    /// [`ChromeTrace`](cardir_telemetry::ChromeTrace) export. The default
+    /// is [`Tracer::disabled`], which costs one branch per would-be span
+    /// and allocates nothing; computed pairs are bit-identical either way
+    /// — tracing only observes.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless [`BatchEngine::with_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Worker threads this engine will use.
@@ -297,6 +319,8 @@ impl BatchEngine {
         if n < 2 {
             return self.empty_outcome(cache);
         }
+        let mut main_trace = self.tracer.thread(MAIN_TID);
+        let trace_start = main_trace.begin();
         let mask_start = Instant::now();
         // With the prefilter disabled, zero-length masks answer
         // `needs_exact == true` for every index, sending all pairs down
@@ -307,6 +331,7 @@ impl BatchEngine {
             (0..n).map(|_| ExactMask::new(0)).collect()
         };
         let mask_build = mask_start.elapsed();
+        main_trace.end(trace_start, phases::MASK_BUILD, None);
         let total = n * (n - 1);
         // Pair k → (i, j): i = k / (n−1); j skips the diagonal.
         let pair_at = |k: usize| {
@@ -358,6 +383,8 @@ impl BatchEngine {
             return Err(EngineError::PairOutOfBounds { pair, len: n });
         }
         // Masks only for references that actually occur.
+        let mut main_trace = self.tracer.thread(MAIN_TID);
+        let trace_start = main_trace.begin();
         let mask_start = Instant::now();
         let mut masks: Vec<Option<ExactMask>> = vec![None; n];
         if self.prefilter {
@@ -373,6 +400,7 @@ impl BatchEngine {
         let masks: Vec<ExactMask> =
             masks.into_iter().map(|m| m.unwrap_or_else(|| ExactMask::new(0))).collect();
         let mask_build = mask_start.elapsed();
+        main_trace.end(trace_start, phases::MASK_BUILD, None);
         Ok(self.run(cache, &masks, pairs.len(), |k| pairs[k], mask_build, policy))
     }
 
@@ -434,27 +462,38 @@ impl BatchEngine {
             let pair_at = &pair_at;
             let deadline_hits = &deadline_hits;
             let cancel_hits = &cancel_hits;
+            let tracer = &self.tracer;
             std::thread::scope(|s| {
-                for my_pairs in per_thread {
+                for (slot, my_pairs) in per_thread.iter().enumerate() {
                     s.spawn(move || {
+                        // Worker tids are 1-based; MAIN_TID is the
+                        // coordinator. The buffer merges on drop, once.
+                        let mut trace = tracer.thread(slot as u32 + 1);
                         let mut worker_pairs = 0usize;
                         loop {
+                            // A queue_wait span covers everything between
+                            // chunks: the stop checks, the atomic claim,
+                            // and any injected claim stall.
+                            let wait_start = trace.begin();
                             // Cooperative stop checks, between chunks only
                             // — claimed chunks always run to completion.
                             if let Some(token) = &policy.cancel {
                                 if token.is_cancelled() {
                                     cancel_hits.fetch_add(1, Ordering::Relaxed);
+                                    trace.end(wait_start, phases::QUEUE_WAIT, None);
                                     break;
                                 }
                             }
                             if let Some(t) = deadline_at {
                                 if Instant::now() >= t {
                                     deadline_hits.fetch_add(1, Ordering::Relaxed);
+                                    trace.end(wait_start, phases::QUEUE_WAIT, None);
                                     break;
                                 }
                             }
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= n_chunks {
+                                trace.end(wait_start, phases::QUEUE_WAIT, None);
                                 break;
                             }
                             // Failpoint: a slow tenant stalling a worker.
@@ -463,6 +502,8 @@ impl BatchEngine {
                             {
                                 std::thread::sleep(d);
                             }
+                            trace.end(wait_start, phases::QUEUE_WAIT, Some(c as u64));
+                            let compute_start = trace.begin();
                             let chunk_start = chunk_hist.map(|_| Instant::now());
                             let start = c * CHUNK;
                             let end = (start + CHUNK).min(total);
@@ -482,6 +523,7 @@ impl BatchEngine {
                             done.lock()
                                 .unwrap_or_else(PoisonError::into_inner)
                                 .push((c, local, tally));
+                            trace.end(compute_start, phases::CHUNK_COMPUTE, Some(c as u64));
                         }
                         my_pairs.store(worker_pairs, Ordering::Relaxed);
                     });
@@ -920,6 +962,101 @@ mod tests {
                 assert_eq!(a.relation, b.relation);
                 assert_eq!(a.percentages, b.percentages, "pair ({}, {})", a.primary, a.reference);
             }
+        }
+    }
+
+    fn random_regions(seed: u64, n: usize) -> Vec<Region> {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let extent = cardir_geometry::BoundingBox::new(
+            cardir_geometry::Point::new(0.0, 0.0),
+            cardir_geometry::Point::new(500.0, 400.0),
+        );
+        cardir_workloads::random_map(&mut rng, n, extent).into_iter().map(|m| m.region).collect()
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_covers_every_chunk() {
+        let regions = random_regions(13, 20);
+        let cache = RegionCache::build(&regions);
+        let plain = BatchEngine::new().with_threads(2).compute_all(&cache);
+        let tracer = Tracer::enabled();
+        let traced =
+            BatchEngine::new().with_threads(2).with_tracer(tracer.clone()).compute_all(&cache);
+        assert_eq!(plain.pairs, traced.pairs, "tracing must only observe");
+
+        let events = tracer.drain();
+        assert!(
+            events.iter().any(|e| e.name == phases::MASK_BUILD && e.tid == MAIN_TID),
+            "the coordinator records the mask build"
+        );
+        // Every chunk appears exactly once as a compute span, attributed
+        // to a worker tid, and every worker also records queue waits.
+        let total: usize = 20 * 19;
+        let n_chunks = total.div_ceil(CHUNK);
+        let mut chunks: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == phases::CHUNK_COMPUTE)
+            .map(|e| {
+                assert!((1..=2).contains(&e.tid), "compute on worker tids only: {e:?}");
+                e.chunk.expect("compute spans carry their chunk id")
+            })
+            .collect();
+        chunks.sort_unstable();
+        assert_eq!(chunks, (0..n_chunks as u64).collect::<Vec<_>>());
+        assert!(
+            events.iter().any(|e| e.name == phases::QUEUE_WAIT),
+            "workers record time between chunks"
+        );
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn traced_join_records_sweep_and_materialize() {
+        let regions = random_regions(29, 25);
+        let cache = RegionCache::build(&regions);
+        let tracer = Tracer::enabled();
+        let plain = BatchEngine::new().with_threads(2).compute_all(&cache);
+        let traced = BatchEngine::new()
+            .with_threads(2)
+            .with_strategy(JoinStrategy::SpatialJoin)
+            .with_tracer(tracer.clone())
+            .compute_all(&cache);
+        assert_eq!(plain.pairs, traced.pairs);
+        let events = tracer.drain();
+        for phase in [phases::SWEEP_PARTITION, phases::MATERIALIZE] {
+            let spans: Vec<_> = events.iter().filter(|e| e.name == phase).collect();
+            assert_eq!(spans.len(), 1, "exactly one {phase} span");
+            assert_eq!(spans[0].tid, MAIN_TID, "{phase} runs on the coordinator");
+        }
+    }
+
+    /// Pins the worker_balance investigation's no-reuse half: the
+    /// per-thread pair counts are rebuilt from fresh atomics on every
+    /// run — one slot per worker, summing to the full pair total — so
+    /// identical summaries across thread counts can only be summary
+    /// collisions (see `EngineMetrics` for the arithmetic).
+    #[test]
+    fn per_thread_pairs_is_fresh_per_run_and_sums_to_total() {
+        // 47 regions → 2162 ordered pairs → 9 chunks, enough for 8 workers.
+        let regions = random_regions(3, 47);
+        let cache = RegionCache::build(&regions);
+        let total = 47 * 46;
+        for threads in [4usize, 8] {
+            let engine = BatchEngine::new().with_threads(threads);
+            let result = engine.compute_all(&cache);
+            assert_eq!(
+                result.metrics.per_thread_pairs.len(),
+                threads,
+                "one slot per worker at {threads} threads"
+            );
+            assert_eq!(
+                result.metrics.per_thread_pairs.iter().sum::<usize>(),
+                total,
+                "claimed pairs account for the whole batch"
+            );
+            // A second run on the same engine starts from zeroed slots.
+            let again = engine.compute_all(&cache);
+            assert_eq!(again.metrics.per_thread_pairs.iter().sum::<usize>(), total);
         }
     }
 

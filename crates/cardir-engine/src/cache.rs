@@ -11,6 +11,8 @@
 
 use cardir_geometry::{BoundingBox, Region, Segment};
 use cardir_index::RTree;
+use cardir_telemetry::trace::{phases, MAIN_TID};
+use cardir_telemetry::Tracer;
 use std::time::{Duration, Instant};
 
 /// Immutable per-region derived data shared by every stage of a batch
@@ -57,6 +59,22 @@ impl<'a> RegionCache<'a> {
         }
         let build_time = start.elapsed();
         RegionCache { regions, mbbs, edge_counts, areas, edges, rtree, build_time }
+    }
+
+    /// [`RegionCache::build`] with a `cache_build` span recorded into
+    /// `tracer` (under [`MAIN_TID`] — the build is single-threaded), so a
+    /// Perfetto timeline of a batch run shows the per-map derived-data
+    /// cost alongside the pass phases. The cache is identical to an
+    /// untraced build.
+    pub fn build_traced<I>(regions: I, tracer: &Tracer) -> Self
+    where
+        I: IntoIterator<Item = &'a Region>,
+    {
+        let mut trace = tracer.thread(MAIN_TID);
+        let start = trace.begin();
+        let cache = RegionCache::build(regions);
+        trace.end(start, phases::CACHE_BUILD, None);
+        cache
     }
 
     /// Wall time [`RegionCache::build`] took — per-map derived-data cost,

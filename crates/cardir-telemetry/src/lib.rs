@@ -20,6 +20,11 @@
 //!   writes one self-describing JSON object per line using the
 //!   hand-rolled [`json`] module (writer *and* parser, so emitted output
 //!   can be validated without external crates).
+//! * [`trace`] — execution timelines: lock-free per-thread span buffers
+//!   ([`Tracer`] / [`ThreadTrace`]), Chrome `trace_event` export for
+//!   Perfetto ([`ChromeTrace`]), and a utilization / phase / concurrency
+//!   analyzer ([`ProcessAnalysis`]). Histograms aggregate *how long*;
+//!   traces keep *when and on which thread*.
 //!
 //! # Example
 //!
@@ -44,9 +49,14 @@ pub mod metric;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metric::{Counter, Histogram, HistogramSnapshot, COUNT_BOUNDS, DURATION_BOUNDS_NS};
 pub use registry::{Registry, Snapshot};
 pub use sink::{JsonLines, Report};
 pub use span::Span;
+pub use trace::{
+    ChromeTrace, PhaseBreakdown, ProcessAnalysis, ThreadTrace, ThreadUtilization, TraceEvent,
+    TraceProcess, TraceSpan, Tracer,
+};

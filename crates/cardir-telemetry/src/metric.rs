@@ -244,6 +244,11 @@ impl HistogramSnapshot {
         self.quantile(0.5)
     }
 
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
     /// The 99th-percentile estimate.
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
@@ -287,6 +292,7 @@ mod tests {
         }
         let s = h.snapshot();
         assert!((s.p50() - 50.0).abs() <= 1.0, "p50 = {}", s.p50());
+        assert!((s.p95() - 95.0).abs() <= 1.0, "p95 = {}", s.p95());
         assert!((s.p99() - 99.0).abs() <= 1.0, "p99 = {}", s.p99());
         assert!((s.mean() - 50.5).abs() < 1e-9);
         assert!((s.quantile(1.0) - 100.0).abs() <= 1e-9);

@@ -10,7 +10,7 @@ pub struct Report;
 
 impl Report {
     /// The report text: counters first, then histograms with count,
-    /// mean, p50, and p99 — all in name order.
+    /// mean, p50, p95, and p99 — all in name order.
     pub fn render(snapshot: &Snapshot) -> String {
         let mut out = String::new();
         if !snapshot.counters.is_empty() {
@@ -28,10 +28,11 @@ impl Report {
             for (name, h) in &snapshot.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<width$}  count {:>9}  mean {:>14.1}  p50 {:>14.1}  p99 {:>14.1}",
+                    "  {name:<width$}  count {:>9}  mean {:>14.1}  p50 {:>14.1}  p95 {:>14.1}  p99 {:>14.1}",
                     h.count,
                     h.mean(),
                     h.p50(),
+                    h.p95(),
                     h.p99(),
                 );
             }
@@ -74,7 +75,7 @@ impl<W: Write> JsonLines<W> {
 
     /// Emits a whole [`Snapshot`] as one `"snapshot"` line: counters as
     /// an object, histograms as objects with bounds, buckets, count, sum,
-    /// and the p50/p99 estimates.
+    /// and the p50/p95/p99 estimates.
     pub fn emit_snapshot(&mut self, snapshot: &Snapshot) -> io::Result<()> {
         let counters = Json::Obj(
             snapshot.counters.iter().map(|(n, v)| (n.clone(), Json::U64(*v))).collect(),
@@ -91,6 +92,7 @@ impl<W: Write> JsonLines<W> {
                             ("sum", Json::U64(h.sum)),
                             ("mean", Json::F64(h.mean())),
                             ("p50", Json::F64(h.p50())),
+                            ("p95", Json::F64(h.p95())),
                             ("p99", Json::F64(h.p99())),
                             (
                                 "bounds",
@@ -170,6 +172,7 @@ mod tests {
         let hist = v.get("histograms").unwrap().get("b.ns").unwrap();
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
         assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(150));
+        assert!(hist.get("p95").and_then(Json::as_f64).is_some(), "p95 exported");
         assert_eq!(
             hist.get("buckets").unwrap(),
             &Json::Arr(vec![Json::U64(0), Json::U64(1), Json::U64(0)])

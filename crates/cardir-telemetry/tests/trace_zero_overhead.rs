@@ -1,0 +1,87 @@
+//! Pins the trace module's hot-path contract: a disabled [`Tracer`]
+//! records nothing and performs **zero heap allocations** per would-be
+//! span, and an enabled tracer within capacity is also allocation-free
+//! per span (the buffer is preallocated at `thread()` time, names are
+//! `&'static str` behind `Cow::Borrowed`).
+//!
+//! The check uses a counting global allocator, so this file holds exactly
+//! one `#[test]` — parallel tests in the same binary would share the
+//! counter and turn the assertion into noise.
+
+// The workspace denies unsafe code; implementing `GlobalAlloc` is the one
+// place it cannot be avoided, and this allocator only counts and defers
+// to `System`. Test-only — the shipped crates stay unsafe-free.
+#![allow(unsafe_code)]
+
+use cardir_telemetry::trace::phases;
+use cardir_telemetry::Tracer;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, out)
+}
+
+#[test]
+fn hot_path_is_allocation_free() {
+    // Disabled tracer: constructing it, opening a thread buffer, and
+    // recording spans through it must never touch the allocator.
+    let (allocs, tracer) = allocations_during(Tracer::disabled);
+    assert_eq!(allocs, 0, "Tracer::disabled() allocated");
+
+    let (allocs, mut tt) = allocations_during(|| tracer.thread(1));
+    assert_eq!(allocs, 0, "disabled tracer.thread() allocated");
+
+    let (allocs, _) = allocations_during(|| {
+        for i in 0..10_000u64 {
+            let t0 = tt.begin();
+            tt.end(t0, phases::CHUNK_COMPUTE, Some(i));
+        }
+        let _span = tt.span(phases::QUEUE_WAIT, None);
+    });
+    assert_eq!(allocs, 0, "disabled hot path allocated");
+    assert!(tt.is_empty(), "disabled tracer recorded events");
+    drop(tt);
+    assert!(tracer.drain().is_empty());
+
+    // Enabled tracer: thread() preallocates once; recording within
+    // capacity — and counting drops past it — is then allocation-free.
+    let tracer = Tracer::with_capacity(1024);
+    let mut tt = tracer.thread(1);
+    let (allocs, _) = allocations_during(|| {
+        for i in 0..2_048u64 {
+            let t0 = tt.begin();
+            tt.end(t0, phases::CHUNK_COMPUTE, Some(i));
+        }
+    });
+    assert_eq!(allocs, 0, "enabled within-capacity hot path allocated");
+    assert_eq!(tt.len(), 1024);
+    drop(tt);
+    assert_eq!(tracer.drain().len(), 1024);
+    assert_eq!(tracer.dropped(), 1024);
+}

@@ -15,10 +15,29 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # counters must flow through the telemetry registry into that emission
 # (geometry.exact_fallback is the series dashboards watch).
 bench_json="$(mktemp /tmp/bench.XXXXXX.json)"
-trap 'rm -f "$bench_json"' EXIT
-cargo run --release --offline -p cardir-bench --bin engine_throughput -- 100 --json "$bench_json" > /dev/null
+bench_trace="$(mktemp /tmp/trace.XXXXXX.json)"
+trap 'rm -f "$bench_json" "$bench_trace"' EXIT
+cargo run --release --offline -p cardir-bench --bin engine_throughput -- 100 \
+    --json "$bench_json" --trace "$bench_trace" > /dev/null
 cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json" \
     --require geometry.exact_fallback --require geometry.orient2d_calls
+
+# Execution-trace smoke: the same run recorded a Chrome trace_event
+# timeline; it must survive the workspace's own JSON parser and the
+# trace_report analyzer must be able to reconstruct per-thread
+# utilization from it.
+cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_trace"
+cargo run --release --offline -p cardir-bench --bin trace_report -- "$bench_trace" > /dev/null
+
+# Bench-regression gate: the fresh N=100 run must stay within a generous
+# 3x of the committed N=1000 baseline, per (mode, threads) series. Only
+# the threads=1 cells are gated — multi-thread cells on a tiny N=100
+# workload are spawn-overhead noise when the CI host has fewer cores
+# than the baseline machine. The threshold absorbs the N difference and
+# machine noise; a real structural regression (an accidental O(N^2) on
+# the hot path, a serialization bug) overshoots it.
+cargo run --release --offline -p cardir-bench --bin bench_diff -- BENCH_engine.json "$bench_json" \
+    --filter threads=1 --threshold 3
 
 # Spatial-join smoke: the sweep-partitioned batch path must complete a
 # 10k-region map (≈ 10^8 ordered pairs, counted not materialised;
