@@ -7,16 +7,29 @@
 //! work scales with threads.
 //!
 //! Usage: `engine_throughput [N] [--json PATH] [--trace PATH]
-//! [--threads T] [--mode qualitative|quantitative]`. The default output
-//! is the human report below; `--json` additionally writes one
-//! JSON-lines record per `(mode, threads)` cell (plus a `map` header
-//! line) through the `cardir-telemetry` sink, machine-readable for
-//! regression tracking. `--trace` records an execution timeline of every
-//! cell (one Perfetto process per cell, one per-worker thread track) in
-//! Chrome `trace_event` format — load it in Perfetto/`chrome://tracing`
-//! or summarise it with `trace_report`. `--threads` / `--mode` restrict
-//! the sweep to a single cell, which keeps a trace of one configuration
-//! uncluttered.
+//! [--threads T] [--mode qualitative|quantitative] [--warmup W]
+//! [--repeat R]`. The default output is the human report below; `--json`
+//! additionally writes one JSON-lines record per `(mode, threads)` cell
+//! (plus a `map` header line) through the `cardir-telemetry` sink,
+//! machine-readable for regression tracking. `--trace` records an
+//! execution timeline of every cell (one Perfetto process per cell, one
+//! per-worker thread track) in Chrome `trace_event` format — load it in
+//! Perfetto/`chrome://tracing` or summarise it with `trace_report`.
+//! `--threads` / `--mode` restrict the sweep to a single cell, which
+//! keeps a trace of one configuration uncluttered.
+//!
+//! ## Honest baselines: warm-up and best-of-repeat
+//!
+//! Each mode runs `--warmup` untimed passes (default 1) before its first
+//! timed cell, and every timed cell reports the best of `--repeat` runs
+//! (default 3). Without this, the very first cell of the sweep — always
+//! `threads=1` — paid one-time costs no other cell paid (first-touch
+//! page faults on the ~10⁶-entry output allocation, lazy runtime
+//! initialisation), which once inflated the committed qualitative
+//! `threads=1` cell to 633 ms against 77 ms at 2 threads: a physically
+//! impossible 9.39× "speedup" that was really a cold-start artifact in
+//! the baseline, not scaling. `speedup_vs_1` is only meaningful when
+//! every cell is measured warm.
 
 use cardir_bench::SEED;
 use cardir_engine::{BatchEngine, EngineMetrics, EngineMode, RegionCache};
@@ -26,8 +39,7 @@ use cardir_workloads::{random_map, SplitMix64};
 use std::hint::black_box;
 use std::time::Instant;
 
-const USAGE: &str =
-    "usage: engine_throughput [N] [--json PATH] [--trace PATH] [--threads T] [--mode qualitative|quantitative]";
+const USAGE: &str = "usage: engine_throughput [N] [--json PATH] [--trace PATH] [--threads T] [--mode qualitative|quantitative] [--warmup W] [--repeat R]";
 
 fn main() {
     let mut n: usize = 1000;
@@ -35,6 +47,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut only_threads: Option<usize> = None;
     let mut only_mode: Option<EngineMode> = None;
+    let mut warmup: usize = 1;
+    let mut repeat: usize = 3;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| {
@@ -61,6 +75,18 @@ fn main() {
                     eprintln!("--mode expects qualitative or quantitative, got {other:?}");
                     std::process::exit(2);
                 }
+            });
+        } else if arg == "--warmup" {
+            let raw = value_of("--warmup");
+            warmup = raw.parse().unwrap_or_else(|_| {
+                eprintln!("--warmup expects a count, got {raw:?}");
+                std::process::exit(2);
+            });
+        } else if arg == "--repeat" {
+            let raw = value_of("--repeat");
+            repeat = raw.parse::<usize>().map(|r| r.max(1)).unwrap_or_else(|_| {
+                eprintln!("--repeat expects a count, got {raw:?}");
+                std::process::exit(2);
             });
         } else if let Ok(v) = arg.parse() {
             n = v;
@@ -121,16 +147,35 @@ fn main() {
     let mut last_metrics = EngineMetrics::default();
     for &mode in &modes {
         println!("\n== {mode:?} ==");
+        // Untimed warm-up: touch the whole output allocation and any
+        // lazy runtime state before the first timed cell, so threads=1
+        // (always measured first) is a real baseline, not the run that
+        // pays every one-time cost.
+        for _ in 0..warmup {
+            let engine = BatchEngine::new().with_mode(mode).with_threads(1);
+            black_box(engine.compute_all(&cache));
+        }
         let mut baseline = None;
         for &threads in &thread_counts {
-            // A fresh tracer per cell keeps each process's timeline
-            // anchored at its own start.
-            let tracer = if chrome.is_some() { Tracer::enabled() } else { Tracer::disabled() };
-            let engine =
-                BatchEngine::new().with_mode(mode).with_threads(threads).with_tracer(tracer.clone());
-            let start = Instant::now();
-            let result = black_box(engine.compute_all(&cache));
-            let elapsed = start.elapsed();
+            // Best of `repeat` timed runs per cell; the reported result
+            // and metrics come from the fastest run.
+            let mut best: Option<(std::time::Duration, _, Tracer)> = None;
+            for _ in 0..repeat {
+                // A fresh tracer per run keeps each process's timeline
+                // anchored at its own start.
+                let tracer = if chrome.is_some() { Tracer::enabled() } else { Tracer::disabled() };
+                let engine = BatchEngine::new()
+                    .with_mode(mode)
+                    .with_threads(threads)
+                    .with_tracer(tracer.clone());
+                let start = Instant::now();
+                let result = black_box(engine.compute_all(&cache));
+                let elapsed = start.elapsed();
+                if best.as_ref().is_none_or(|(b, _, _)| elapsed < *b) {
+                    best = Some((elapsed, result, tracer));
+                }
+            }
+            let (elapsed, result, tracer) = best.expect("repeat >= 1");
             if let Some(chrome) = &mut chrome {
                 let label = format!("{} t={threads}", format!("{mode:?}").to_lowercase());
                 chrome.add_process(&label, &tracer);
@@ -165,6 +210,7 @@ fn main() {
                         ("prefilter_hits", Json::from(result.stats.prefilter_hits)),
                         ("exact_pairs", Json::from(result.stats.exact_pairs)),
                         ("edges_scanned", Json::from(result.stats.edges_scanned)),
+                        ("fused_pairs", Json::from(result.stats.fused_pairs)),
                         ("rtree_candidates", Json::from(result.stats.rtree_candidates)),
                         (
                             "mask_build_ns",
@@ -202,13 +248,14 @@ fn main() {
     let snap = registry.snapshot();
     let orient_calls = snap.counter("geometry.orient2d_calls").unwrap_or(0);
     let exact_fallback = snap.counter("geometry.exact_fallback").unwrap_or(0);
+    let edge_flattens = snap.counter("geometry.edge_flattens").unwrap_or(0);
     let filter_hit_rate = if orient_calls == 0 {
         1.0
     } else {
         1.0 - exact_fallback as f64 / orient_calls as f64
     };
     println!(
-        "\ngeometry: {orient_calls} orient2d calls, {exact_fallback} exact fallbacks (filter hit-rate {:.4}%)",
+        "\ngeometry: {orient_calls} orient2d calls, {exact_fallback} exact fallbacks (filter hit-rate {:.4}%), {edge_flattens} edge flattens",
         100.0 * filter_hit_rate,
     );
     if let Some(sink) = &mut sink {
@@ -218,6 +265,10 @@ fn main() {
                 ("orient2d_calls", Json::from(orient_calls)),
                 ("exact_fallback", Json::from(exact_fallback)),
                 ("filter_hit_rate", Json::from(filter_hit_rate)),
+                // Edge-iterator constructions over the whole bench run:
+                // cache builds plus exactly zero per-pair re-flattening
+                // (the fused SoA kernels never touch Region geometry).
+                ("edge_flattens", Json::from(edge_flattens)),
             ]),
         )
         .expect("write JSON line");

@@ -159,6 +159,7 @@ fn main() {
                 ("discover_ns", Json::from(ns(outcome.metrics.mask_build))),
                 ("exact_pass_ns", Json::from(ns(outcome.metrics.exact_pass))),
                 ("threads", Json::from(outcome.stats.threads)),
+                ("fused_pairs", Json::from(outcome.stats.fused_pairs)),
             ];
             if let Some((elapsed_all, speedup)) = baseline {
                 fields.push(("allpairs_elapsed_ns", Json::from(ns(elapsed_all))));

@@ -1,0 +1,465 @@
+//! Fused `Compute-CDR` / `Compute-CDR%` over cached struct-of-arrays
+//! edges — one sweep, no per-pair re-flattening.
+//!
+//! The batch engine computes relations for every ordered pair `(a, b)`,
+//! so the same primary region `a` is scanned against hundreds of
+//! reference boxes. The entry points in [`crate::compute`] and
+//! [`crate::percent`] each take `&Region` and call `Polygon::edges()`,
+//! which materialises `Segment`s from the vertex lists on every call —
+//! and the quantitative engine path used to call *both*, scanning every
+//! edge twice per pair. This module removes both costs:
+//!
+//! * [`SoaStore`] flattens every region's edges **once** into contiguous
+//!   `x0/y0/x1/y1` arrays (plus per-polygon extents), in exactly the
+//!   order `Polygon::edges()` yields them;
+//! * one generic kernel walks those arrays a single time per pair and
+//!   computes — depending on which outputs the caller asked for — the
+//!   tile-membership bits of `Compute-CDR` (paper Fig. 5) *and* the
+//!   `E_l` / `E'_m` signed-area accumulators of `Compute-CDR%` (paper
+//!   Fig. 10) in the same pass.
+//!
+//! Bit-identity with the `&Region` entry points is a hard invariant, not
+//! an aspiration: the SoA stores the identical edge sequence, sub-edge
+//! division and classification are shared code, the area accumulators
+//! add the identical terms in the identical order, and the per-polygon
+//! centre test replicates `Polygon::contains` decision-for-decision via
+//! the same exact predicates. The differential tests below (and the
+//! engine's suites) pin `==` on every output, including the sign of
+//! every rounding.
+
+use crate::divide::{classify_subedge, for_each_division};
+use crate::hook::{MetricsHook, NoopHook};
+use crate::matrix::TileAreas;
+use crate::relation::CardinalRelation;
+use crate::tile::{Tile, ALL_TILES};
+use cardir_geometry::area::{e_l, e_m};
+use cardir_geometry::{orient2d_sign, BoundingBox, Point, Region, Segment, Sign};
+
+/// A borrowed view of one region's edges in struct-of-arrays layout.
+///
+/// Edge `e` is the directed segment `(x0[e], y0[e]) → (x1[e], y1[e])`.
+/// Edges are stored polygon-major in the exact order
+/// `Region::polygons()` × `Polygon::edges()` produces them;
+/// `polygon_ends[k]` is the exclusive end (relative to this view) of
+/// polygon `k`'s edge range, so polygon `k` owns edges
+/// `polygon_ends[k-1] .. polygon_ends[k]`.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeSoa<'a> {
+    /// Start x of each edge.
+    pub x0: &'a [f64],
+    /// Start y of each edge.
+    pub y0: &'a [f64],
+    /// End x of each edge.
+    pub x1: &'a [f64],
+    /// End y of each edge.
+    pub y1: &'a [f64],
+    /// Exclusive per-polygon edge-range ends, relative to this view.
+    pub polygon_ends: &'a [u32],
+}
+
+impl EdgeSoa<'_> {
+    /// Number of edges in the view.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.x0.len()
+    }
+
+    /// Number of polygons in the view.
+    #[inline]
+    pub fn polygon_count(&self) -> usize {
+        self.polygon_ends.len()
+    }
+
+    /// Reconstructs edge `e` as a [`Segment`] (bit-identical to the one
+    /// `Polygon::edges()` would yield at the same position).
+    #[inline]
+    fn segment(&self, e: usize) -> Segment {
+        Segment::new(
+            Point::new(self.x0[e], self.y0[e]),
+            Point::new(self.x1[e], self.y1[e]),
+        )
+    }
+}
+
+/// Owned struct-of-arrays edge storage for a whole map of regions.
+///
+/// Built once (by `RegionCache` in the engine crate), then borrowed per
+/// pair via [`SoaStore::view`] — the exact loops never touch `Region` /
+/// `Polygon` again, which [`cardir_geometry::flatten::events`] makes
+/// checkable.
+#[derive(Debug, Clone, Default)]
+pub struct SoaStore {
+    x0: Vec<f64>,
+    y0: Vec<f64>,
+    x1: Vec<f64>,
+    y1: Vec<f64>,
+    polygon_ends: Vec<u32>,
+    /// Per-region prefix into the edge arrays; `edge_start.len()` is
+    /// `regions + 1`.
+    edge_start: Vec<usize>,
+    /// Per-region prefix into `polygon_ends`; same shape.
+    poly_start: Vec<usize>,
+}
+
+impl SoaStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SoaStore {
+            edge_start: vec![0],
+            poly_start: vec![0],
+            ..SoaStore::default()
+        }
+    }
+
+    /// Appends one region's edges, in exactly the order
+    /// `Region::polygons()` × `Polygon::edges()` yields them
+    /// (`v[i] → v[(i+1) mod n]` per clockwise-stored polygon).
+    pub fn push_region(&mut self, region: &Region) {
+        let base = self.x0.len();
+        for polygon in region.polygons() {
+            let vs = polygon.vertices();
+            let n = vs.len();
+            for i in 0..n {
+                let a = vs[i];
+                let b = vs[(i + 1) % n];
+                self.x0.push(a.x);
+                self.y0.push(a.y);
+                self.x1.push(b.x);
+                self.y1.push(b.y);
+            }
+            let rel_end = self.x0.len() - base;
+            self.polygon_ends.push(
+                u32::try_from(rel_end).expect("region exceeds u32::MAX edges"),
+            );
+        }
+        self.edge_start.push(self.x0.len());
+        self.poly_start.push(self.polygon_ends.len());
+    }
+
+    /// Borrowed SoA view of region `i` (insertion order).
+    #[inline]
+    pub fn view(&self, i: usize) -> EdgeSoa<'_> {
+        let es = self.edge_start[i]..self.edge_start[i + 1];
+        EdgeSoa {
+            x0: &self.x0[es.clone()],
+            y0: &self.y0[es.clone()],
+            x1: &self.x1[es.clone()],
+            y1: &self.y1[es],
+            polygon_ends: &self.polygon_ends[self.poly_start[i]..self.poly_start[i + 1]],
+        }
+    }
+
+    /// Number of regions pushed.
+    #[inline]
+    pub fn regions(&self) -> usize {
+        self.edge_start.len() - 1
+    }
+
+    /// Total edges across all regions.
+    #[inline]
+    pub fn total_edges(&self) -> usize {
+        self.x0.len()
+    }
+}
+
+/// Replicates [`cardir_geometry::Polygon::contains`] over one polygon's
+/// SoA edge range `[start, end)`: exact boundary membership first, then
+/// exact ray-cast parity. Decision-for-decision identical because the
+/// stored edges *are* `v[i] → v[(i+1) mod n]` in order, and every sign
+/// goes through the same robust predicates.
+fn polygon_contains(soa: &EdgeSoa<'_>, start: usize, end: usize, p: Point) -> bool {
+    for e in start..end {
+        if soa.segment(e).contains_point(p) {
+            return true;
+        }
+    }
+    let mut inside = false;
+    for e in start..end {
+        let a = Point::new(soa.x0[e], soa.y0[e]);
+        let b = Point::new(soa.x1[e], soa.y1[e]);
+        if (a.y > p.y) != (b.y > p.y) {
+            let crossing_east = if b.y > a.y {
+                orient2d_sign(a, b, p) == Sign::Positive
+            } else {
+                orient2d_sign(a, b, p) == Sign::Negative
+            };
+            if crossing_east {
+                inside = !inside;
+            }
+        }
+    }
+    inside
+}
+
+/// The fused sweep. `RELATION` enables the tile-bit union and the
+/// per-polygon centre test of `Compute-CDR`; `AREAS` enables the
+/// `E_l` / `E'_m` accumulators of `Compute-CDR%`. Both const flags
+/// monomorphise away: the three public shapes compile to exactly the
+/// loop they need, with no runtime branches on the configuration.
+fn fused_scan<H: MetricsHook, const RELATION: bool, const AREAS: bool>(
+    soa: &EdgeSoa<'_>,
+    mbb: BoundingBox,
+    hook: &mut H,
+) -> (u16, [f64; 9], f64) {
+    let center = mbb.center();
+    let m1 = mbb.min.x;
+    let m2 = mbb.max.x;
+    let l1 = mbb.min.y;
+    let l2 = mbb.max.y;
+
+    let mut bits = 0u16;
+    // Signed accumulators, indexed by canonical tile index; the B slot is
+    // unused (B is derived from `acc_bn` by the caller).
+    let mut acc = [0.0f64; 9];
+    let mut acc_bn = 0.0f64;
+
+    let mut start = 0usize;
+    for &rel_end in soa.polygon_ends {
+        let end = rel_end as usize;
+        for e in start..end {
+            let edge = soa.segment(e);
+            hook.edge_scanned();
+            let mut parts = 0usize;
+            for_each_division(edge, mbb, |sub| {
+                parts += 1;
+                let t = classify_subedge(sub, mbb);
+                hook.sub_edge(t);
+                if RELATION {
+                    bits |= t.bit();
+                }
+                if AREAS {
+                    match t {
+                        Tile::NW | Tile::W | Tile::SW => acc[t.index()] += e_m(m1, sub),
+                        Tile::NE | Tile::E | Tile::SE => acc[t.index()] += e_m(m2, sub),
+                        Tile::S => acc[t.index()] += e_l(l1, sub),
+                        Tile::N => acc[t.index()] += e_l(l2, sub),
+                        Tile::B => {}
+                    }
+                    if t == Tile::N || t == Tile::B {
+                        acc_bn += e_l(l1, sub);
+                    }
+                }
+            });
+            if parts > 1 {
+                hook.edge_divided(parts);
+            }
+        }
+        // Fig. 5: "If the center of mbb(b) is in p then R = tile-union(R, B)".
+        if RELATION && bits & Tile::B.bit() == 0 && polygon_contains(soa, start, end, center) {
+            bits |= Tile::B.bit();
+            hook.b_center_hit();
+        }
+        start = end;
+    }
+    (bits, acc, acc_bn)
+}
+
+/// Finalises the signed accumulators exactly as `Compute-CDR%` does:
+/// peripheral tiles take `|acc|`, and `area(B) = |a_{B+N}| − |a_N|`
+/// clamped against round-off.
+fn finalize_areas(acc: &[f64; 9], acc_bn: f64) -> TileAreas {
+    let mut areas = TileAreas::default();
+    for t in ALL_TILES {
+        if t != Tile::B {
+            *areas.get_mut(t) = acc[t.index()].abs();
+        }
+    }
+    *areas.get_mut(Tile::B) = (acc_bn.abs() - acc[Tile::N.index()].abs()).max(0.0);
+    areas
+}
+
+#[inline]
+fn relation_from_bits(bits: u16) -> CardinalRelation {
+    CardinalRelation::from_bits(bits)
+        .expect("a valid region always produces at least one sub-edge tile")
+}
+
+/// `Compute-CDR` over cached SoA edges — bit-identical to
+/// [`crate::compute_cdr_with_mbb`] on the region the SoA was built from.
+pub fn cdr_from_soa(soa: &EdgeSoa<'_>, mbb: BoundingBox) -> CardinalRelation {
+    cdr_from_soa_hooked(soa, mbb, &mut NoopHook)
+}
+
+/// [`cdr_from_soa`] observed by a [`MetricsHook`] (hooks only observe;
+/// the result is bit-identical for any hook).
+pub fn cdr_from_soa_hooked<H: MetricsHook>(
+    soa: &EdgeSoa<'_>,
+    mbb: BoundingBox,
+    hook: &mut H,
+) -> CardinalRelation {
+    let (bits, _, _) = fused_scan::<H, true, false>(soa, mbb, hook);
+    relation_from_bits(bits)
+}
+
+/// The fused quantitative pass: `Compute-CDR` *and* `Compute-CDR%` in
+/// one sweep over cached SoA edges. The relation is bit-identical to
+/// [`crate::compute_cdr_with_mbb`] and the areas to
+/// [`crate::tile_areas_with_mbb`] — each edge is divided and classified
+/// once instead of twice.
+pub fn cdr_areas_from_soa(soa: &EdgeSoa<'_>, mbb: BoundingBox) -> (CardinalRelation, TileAreas) {
+    cdr_areas_from_soa_hooked(soa, mbb, &mut NoopHook)
+}
+
+/// [`cdr_areas_from_soa`] observed by a [`MetricsHook`].
+pub fn cdr_areas_from_soa_hooked<H: MetricsHook>(
+    soa: &EdgeSoa<'_>,
+    mbb: BoundingBox,
+    hook: &mut H,
+) -> (CardinalRelation, TileAreas) {
+    let (bits, acc, acc_bn) = fused_scan::<H, true, true>(soa, mbb, hook);
+    (relation_from_bits(bits), finalize_areas(&acc, acc_bn))
+}
+
+/// `Compute-CDR%` alone over cached SoA edges — bit-identical to
+/// [`crate::tile_areas_with_mbb`]. No centre test runs (areas never
+/// needed it), so the per-pair work matches the legacy areas-only call
+/// exactly.
+pub fn areas_from_soa(soa: &EdgeSoa<'_>, mbb: BoundingBox) -> TileAreas {
+    areas_from_soa_hooked(soa, mbb, &mut NoopHook)
+}
+
+/// [`areas_from_soa`] observed by a [`MetricsHook`].
+pub fn areas_from_soa_hooked<H: MetricsHook>(
+    soa: &EdgeSoa<'_>,
+    mbb: BoundingBox,
+    hook: &mut H,
+) -> TileAreas {
+    let (_, acc, acc_bn) = fused_scan::<H, false, true>(soa, mbb, hook);
+    finalize_areas(&acc, acc_bn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::{compute_cdr_hooked, compute_cdr_with_mbb};
+    use crate::hook::CountingHook;
+    use crate::percent::tile_areas_with_mbb;
+    use cardir_geometry::{Polygon, Region};
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::from_coords([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]).unwrap()
+    }
+
+    /// Regions that exercise every kernel branch: single tile, straddles,
+    /// corner straddles, grid-line edges, a covering slab (centre test),
+    /// a frame whose hole covers the box (centre test must *fail* per
+    /// polygon), a disconnected pair, and an all-nine-tiles triangle.
+    fn adversarial_regions() -> Vec<Region> {
+        vec![
+            rect(1.0, 1.0, 3.0, 3.0),
+            rect(5.0, -3.0, 7.0, -1.0),
+            rect(3.0, 1.0, 5.0, 3.0),
+            rect(3.0, 3.0, 5.0, 5.0),
+            rect(-2.0, 1.0, 6.0, 3.0),
+            rect(0.0, 1.0, 2.0, 3.0),
+            rect(0.0, -4.0, 4.0, 0.0),
+            rect(-2.0, -2.0, 6.0, 6.0),
+            Region::new([
+                Polygon::from_coords([(-4.0, -4.0), (8.0, -4.0), (8.0, -2.0), (-4.0, -2.0)])
+                    .unwrap(),
+                Polygon::from_coords([(-4.0, 6.0), (8.0, 6.0), (8.0, 8.0), (-4.0, 8.0)]).unwrap(),
+                Polygon::from_coords([(-4.0, -2.0), (-2.0, -2.0), (-2.0, 6.0), (-4.0, 6.0)])
+                    .unwrap(),
+                Polygon::from_coords([(6.0, -2.0), (8.0, -2.0), (8.0, 6.0), (6.0, 6.0)]).unwrap(),
+            ])
+            .unwrap(),
+            Region::new([
+                Polygon::from_coords([(1.0, 5.0), (3.0, 5.0), (3.0, 7.0), (1.0, 7.0)]).unwrap(),
+                Polygon::from_coords([(5.0, -3.0), (7.0, -3.0), (7.0, -1.0), (5.0, -1.0)])
+                    .unwrap(),
+            ])
+            .unwrap(),
+            Region::from_coords([(-2.0, 2.0), (-3.0, 5.0), (-1.0, 6.0), (5.0, 4.0)]).unwrap(),
+            Region::from_coords([(-6.0, -3.0), (3.0, 10.0), (10.0, -5.0)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn store_layout_matches_edge_iterators() {
+        let regions = adversarial_regions();
+        let mut store = SoaStore::new();
+        for r in &regions {
+            store.push_region(r);
+        }
+        assert_eq!(store.regions(), regions.len());
+        assert_eq!(
+            store.total_edges(),
+            regions.iter().map(Region::edge_count).sum::<usize>()
+        );
+        for (i, r) in regions.iter().enumerate() {
+            let soa = store.view(i);
+            assert_eq!(soa.edge_count(), r.edge_count());
+            assert_eq!(soa.polygon_count(), r.polygons().len());
+            let flat: Vec<_> = r.edges().collect();
+            for (e, expect) in flat.iter().enumerate() {
+                assert_eq!(soa.segment(e), *expect, "region {i} edge {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_is_bit_identical_to_the_region_entry_points() {
+        let regions = adversarial_regions();
+        let mut store = SoaStore::new();
+        for r in &regions {
+            store.push_region(r);
+        }
+        let mbb = rect(0.0, 0.0, 4.0, 4.0).mbb();
+        for (i, r) in regions.iter().enumerate() {
+            let soa = store.view(i);
+            let want_rel = compute_cdr_with_mbb(r, mbb);
+            let want_areas = tile_areas_with_mbb(r, mbb);
+            assert_eq!(cdr_from_soa(&soa, mbb), want_rel, "region {i}");
+            let (rel, areas) = cdr_areas_from_soa(&soa, mbb);
+            assert_eq!(rel, want_rel, "region {i}");
+            assert_eq!(areas, want_areas, "region {i} (fused areas)");
+            assert_eq!(areas_from_soa(&soa, mbb), want_areas, "region {i} (areas only)");
+        }
+    }
+
+    #[test]
+    fn fused_is_bit_identical_across_reference_boxes() {
+        // The same primary scanned against every other region's mbb —
+        // the engine's actual access pattern.
+        let regions = adversarial_regions();
+        let mut store = SoaStore::new();
+        for r in &regions {
+            store.push_region(r);
+        }
+        for (i, a) in regions.iter().enumerate() {
+            let soa = store.view(i);
+            for b in &regions {
+                let mbb = b.mbb();
+                let (rel, areas) = cdr_areas_from_soa(&soa, mbb);
+                assert_eq!(rel, compute_cdr_with_mbb(a, mbb));
+                assert_eq!(areas, tile_areas_with_mbb(a, mbb));
+                assert_eq!(
+                    areas.percentages(),
+                    tile_areas_with_mbb(a, mbb).percentages()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hook_counts_match_the_region_entry_points() {
+        let b = rect(0.0, 0.0, 4.0, 4.0);
+        for a in adversarial_regions() {
+            let mut store = SoaStore::new();
+            store.push_region(&a);
+            let soa = store.view(0);
+            let mut legacy = CountingHook::new();
+            let mut fused = CountingHook::new();
+            let want = compute_cdr_hooked(&a, &b, &mut legacy);
+            let got = cdr_from_soa_hooked(&soa, b.mbb(), &mut fused);
+            assert_eq!(got, want);
+            assert_eq!(fused, legacy, "hook event streams must agree");
+            // The fused quantitative pass scans each edge once — the same
+            // counts again, not double.
+            let mut quant = CountingHook::new();
+            cdr_areas_from_soa_hooked(&soa, b.mbb(), &mut quant);
+            assert_eq!(quant.edges_scanned, legacy.edges_scanned);
+            assert_eq!(quant.sub_edges, legacy.sub_edges);
+        }
+    }
+}

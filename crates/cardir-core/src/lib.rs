@@ -36,6 +36,7 @@ pub mod baseline;
 pub mod compute;
 pub mod divide;
 pub mod error;
+pub mod fused;
 pub mod hook;
 pub mod matrix;
 pub mod percent;
@@ -49,6 +50,10 @@ pub use compute::{
 };
 pub use divide::{classify_subedge, for_each_division, DivisionStats};
 pub use error::ComputeError;
+pub use fused::{
+    areas_from_soa, areas_from_soa_hooked, cdr_areas_from_soa, cdr_areas_from_soa_hooked,
+    cdr_from_soa, cdr_from_soa_hooked, EdgeSoa, SoaStore,
+};
 pub use hook::{CountingHook, MetricsHook, NoopHook};
 pub use matrix::{DirectionMatrix, PercentageMatrix, TileAreas};
 pub use percent::{

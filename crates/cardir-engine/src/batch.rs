@@ -37,7 +37,7 @@ use crate::policy::{
 };
 use crate::prefilter::{decided_tile, exact_mask, ExactMask};
 use cardir_core::{
-    compute_cdr_with_mbb, tile_areas_with_mbb, CardinalRelation, PercentageMatrix, Tile,
+    areas_from_soa, cdr_areas_from_soa, cdr_from_soa, CardinalRelation, PercentageMatrix, Tile,
 };
 use cardir_faults::{sites, FaultAction};
 use cardir_telemetry::trace::{phases, MAIN_TID};
@@ -93,7 +93,16 @@ pub struct BatchStats {
     pub exact_pairs: usize,
     /// Primary-region edges scanned across all exact computations — the
     /// paper's `Σ k_a` cost term that the prefilter exists to avoid.
+    /// Each edge counts once per exact pair in *both* modes: the fused
+    /// quantitative kernel computes relation and areas in one sweep, so
+    /// quantitative runs no longer double this count.
     pub edges_scanned: usize,
+    /// Exact computations served by the fused SoA kernels — pairs whose
+    /// edge scan ran over the cache's struct-of-arrays store instead of
+    /// re-flattening `Region` geometry. Invariant: equals
+    /// [`BatchStats::exact_pairs`] (which already counts the quantitative
+    /// N-tile fallbacks), because no other exact path exists.
+    pub fused_pairs: usize,
     /// R-tree line-search candidates visited while building the
     /// per-reference exact masks (one visit per box/grid-line contact).
     pub rtree_candidates: usize,
@@ -540,6 +549,7 @@ impl BatchEngine {
             slots[c] = Some(local);
             totals.hits += tally.hits;
             totals.edges_scanned += tally.edges_scanned;
+            totals.fused += tally.fused;
             totals.faults.merge(&tally.faults);
         }
         let mut pairs = Vec::with_capacity(total);
@@ -584,6 +594,7 @@ impl BatchEngine {
             // failed and skipped pairs count in neither bucket.
             exact_pairs: succeeded - totals.hits,
             edges_scanned: totals.edges_scanned,
+            fused_pairs: totals.fused,
             rtree_candidates: masks.iter().map(ExactMask::candidates).sum(),
         };
         let metrics = EngineMetrics {
@@ -703,6 +714,8 @@ pub(crate) struct Tally {
     pub(crate) hits: usize,
     /// Primary edges scanned by exact computations.
     pub(crate) edges_scanned: usize,
+    /// Exact computations that ran over the fused SoA kernels.
+    pub(crate) fused: usize,
     /// Fault events observed while computing this chunk.
     pub(crate) faults: FaultTally,
 }
@@ -726,13 +739,17 @@ fn compute_pair(
     } else {
         let mbb = cache.mbb(j);
         tally.edges_scanned += cache.edge_count(i);
-        let relation = compute_cdr_with_mbb(cache.region(i), mbb);
-        let percentages = match mode {
-            EngineMode::Qualitative => None,
+        tally.fused += 1;
+        let soa = cache.soa(i);
+        let (relation, percentages) = match mode {
+            EngineMode::Qualitative => (cdr_from_soa(&soa, mbb), None),
             EngineMode::Quantitative => {
-                // The area pass re-walks the primary's edge list.
-                tally.edges_scanned += cache.edge_count(i);
-                Some(tile_areas_with_mbb(cache.region(i), mbb).percentages())
+                // One fused sweep computes the relation and the areas
+                // together — the old path called `compute_cdr_with_mbb`
+                // and then `tile_areas_with_mbb`, re-flattening and
+                // re-dividing every primary edge twice per pair.
+                let (relation, areas) = cdr_areas_from_soa(&soa, mbb);
+                (relation, Some(areas.percentages()))
             }
         };
         PairRelation { primary: i, reference: j, relation, percentages, via_prefilter: false }
@@ -779,7 +796,8 @@ pub(crate) fn emit_decided(
                 // for the matrix to stay bit-identical; the relation
                 // is still the prefilter's.
                 tally.edges_scanned += cache.edge_count(i);
-                let m = tile_areas_with_mbb(cache.region(i), cache.mbb(j)).percentages();
+                tally.fused += 1;
+                let m = areas_from_soa(&cache.soa(i), cache.mbb(j)).percentages();
                 PairRelation {
                     primary: i,
                     reference: j,

@@ -5,11 +5,15 @@
 //! reference region's polygons) on every call; over the `n·(n−1)` ordered
 //! pairs of a map each region's box would be rebuilt `2·(n−1)` times.
 //! [`RegionCache`] hoists that work: one pass computes every region's
-//! MBB, edge count, area, and flattened edge list, and loads the MBBs
-//! into an [`RTree`] so the prefilter can locate grid-line conflicts in
-//! logarithmic time.
+//! MBB, edge count, and area, flattens every edge once into a shared
+//! struct-of-arrays store ([`SoaStore`]), and loads the MBBs into an
+//! [`RTree`] so the prefilter can locate grid-line conflicts in
+//! logarithmic time. The SoA store is what the exact loops scan — after
+//! the build, no per-pair code path touches `Region` / `Polygon` edge
+//! iterators again (`cardir_geometry::flatten::events` proves it).
 
-use cardir_geometry::{BoundingBox, Region, Segment};
+use cardir_core::{EdgeSoa, SoaStore};
+use cardir_geometry::{BoundingBox, Region};
 use cardir_index::RTree;
 use cardir_telemetry::trace::{phases, MAIN_TID};
 use cardir_telemetry::Tracer;
@@ -23,7 +27,7 @@ pub struct RegionCache<'a> {
     mbbs: Vec<BoundingBox>,
     edge_counts: Vec<usize>,
     areas: Vec<f64>,
-    edges: Vec<Vec<Segment>>,
+    soa: SoaStore,
     rtree: RTree<usize>,
     build_time: Duration,
 }
@@ -41,7 +45,10 @@ impl<'a> RegionCache<'a> {
         let mbbs: Vec<BoundingBox> = regions.iter().map(|r| r.mbb()).collect();
         let edge_counts: Vec<usize> = regions.iter().map(|r| r.edge_count()).collect();
         let areas: Vec<f64> = regions.iter().map(|r| r.area()).collect();
-        let edges: Vec<Vec<Segment>> = regions.iter().map(|r| r.edges().collect()).collect();
+        let mut soa = SoaStore::new();
+        for r in &regions {
+            soa.push_region(r);
+        }
         let mut rtree = RTree::new();
         for (i, mbb) in mbbs.iter().enumerate() {
             // Failpoint: a corrupt geometry blowing up mid-index-build.
@@ -58,7 +65,7 @@ impl<'a> RegionCache<'a> {
             rtree.insert(*mbb, i);
         }
         let build_time = start.elapsed();
-        RegionCache { regions, mbbs, edge_counts, areas, edges, rtree, build_time }
+        RegionCache { regions, mbbs, edge_counts, areas, soa, rtree, build_time }
     }
 
     /// [`RegionCache::build`] with a `cache_build` span recorded into
@@ -121,11 +128,13 @@ impl<'a> RegionCache<'a> {
         self.areas[i]
     }
 
-    /// The flattened edge list of region `i`, in the canonical
-    /// polygon-major order of [`Region::edges`].
+    /// The struct-of-arrays edge view of region `i`, flattened once at
+    /// build time in the canonical polygon-major order of
+    /// [`Region::edges`]. This is what the exact loops feed to the fused
+    /// kernels — borrowing it never re-derives geometry.
     #[inline]
-    pub fn edges(&self, i: usize) -> &[Segment] {
-        &self.edges[i]
+    pub fn soa(&self, i: usize) -> EdgeSoa<'_> {
+        self.soa.view(i)
     }
 
     /// Sum of all cached edge counts — the total geometric workload of an
@@ -160,7 +169,7 @@ mod tests {
             assert_eq!(cache.mbb(i), r.mbb());
             assert_eq!(cache.edge_count(i), r.edge_count());
             assert_eq!(cache.area(i), r.area());
-            assert_eq!(cache.edges(i).len(), r.edge_count());
+            assert_eq!(cache.soa(i).edge_count(), r.edge_count());
         }
         assert_eq!(cache.total_edges(), 8);
         assert_eq!(cache.rtree().len(), 2);

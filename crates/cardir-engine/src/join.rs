@@ -231,6 +231,7 @@ impl JoinOutcome {
         };
         stats.prefilter_hits += tally.hits;
         stats.edges_scanned += tally.edges_scanned;
+        stats.fused_pairs += tally.fused;
         stats.exact_pairs = succeeded - stats.prefilter_hits;
         metrics.faults.merge(&tally.faults);
         metrics.stats = stats;
@@ -491,6 +492,7 @@ mod tests {
                 assert_eq!(joined.stats.prefilter_hits, all.stats.prefilter_hits);
                 assert_eq!(joined.stats.exact_pairs, all.stats.exact_pairs);
                 assert_eq!(joined.stats.edges_scanned, all.stats.edges_scanned);
+                assert_eq!(joined.stats.fused_pairs, all.stats.fused_pairs);
                 assert_eq!(joined.stats.rtree_candidates, all.stats.rtree_candidates);
             }
         }

@@ -75,7 +75,7 @@ impl EngineMetrics {
 
     /// Folds this run into `registry` under the `engine.` namespace:
     /// counters `engine.{runs,pairs,prefilter_hits,exact_pairs,
-    /// edges_scanned,rtree_candidates}`, duration histograms
+    /// edges_scanned,fused_pairs,rtree_candidates}`, duration histograms
     /// `engine.{cache_build,mask_build,exact_pass}_ns` (one sample per
     /// run), the per-worker pair histogram `engine.thread_pairs`, and —
     /// when collected — the merged `engine.chunk_ns` distribution.
@@ -85,6 +85,7 @@ impl EngineMetrics {
         registry.counter("engine.prefilter_hits").add(self.stats.prefilter_hits as u64);
         registry.counter("engine.exact_pairs").add(self.stats.exact_pairs as u64);
         registry.counter("engine.edges_scanned").add(self.stats.edges_scanned as u64);
+        registry.counter("engine.fused_pairs").add(self.stats.fused_pairs as u64);
         registry.counter("engine.rtree_candidates").add(self.stats.rtree_candidates as u64);
         for (name, duration) in [
             ("engine.cache_build_ns", self.cache_build),
@@ -148,6 +149,19 @@ fn export_geometry(registry: &Registry) {
     *last = now;
     registry.counter("geometry.orient2d_calls").add(delta.orient_calls);
     registry.counter("geometry.exact_fallback").add(delta.exact_fallbacks);
+
+    // Edge-flattening events (Polygon::edges / Region::edges iterator
+    // constructions), same delta pattern. A healthy batch run flattens
+    // only while building its RegionCache; a non-zero delta *per pair*
+    // would mean an exact loop regressed to re-deriving geometry — the
+    // series exists precisely so dashboards can catch that.
+    static LAST_FLATTENS: OnceLock<Mutex<u64>> = OnceLock::new();
+    let last = LAST_FLATTENS.get_or_init(|| Mutex::new(0));
+    let mut last = last.lock().unwrap_or_else(PoisonError::into_inner);
+    let now = cardir_geometry::flatten::events();
+    let delta = now.saturating_sub(*last);
+    *last = now;
+    registry.counter("geometry.edge_flattens").add(delta);
 }
 
 #[cfg(test)]
@@ -210,6 +224,7 @@ mod tests {
                 threads: 2,
                 exact_pairs: 4,
                 edges_scanned: 64,
+                fused_pairs: 4,
                 rtree_candidates: 12,
             },
             cache_build: Duration::from_micros(5),
@@ -227,16 +242,18 @@ mod tests {
         assert_eq!(snap.counter("engine.runs"), Some(2));
         assert_eq!(snap.counter("engine.pairs"), Some(20));
         assert_eq!(snap.counter("engine.edges_scanned"), Some(128));
+        assert_eq!(snap.counter("engine.fused_pairs"), Some(8));
         // An all-pairs run carries no join partition: the series must not
         // appear at all rather than report zeros.
         assert_eq!(snap.counter("join.candidates"), None);
         assert_eq!(snap.histogram("engine.exact_pass_ns").unwrap().count, 2);
         assert_eq!(snap.histogram("engine.thread_pairs").unwrap().count, 4);
         assert!(snap.histogram("engine.chunk_ns").is_none());
-        // The robust-predicate series always exports, even when zero
-        // predicate calls happened between exports.
+        // The robust-predicate and flatten series always export, even
+        // when zero events happened between exports.
         assert!(snap.counter("geometry.orient2d_calls").is_some());
         assert!(snap.counter("geometry.exact_fallback").is_some());
+        assert!(snap.counter("geometry.edge_flattens").is_some());
     }
 
     #[test]

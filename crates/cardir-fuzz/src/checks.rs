@@ -202,6 +202,22 @@ pub fn check_join(regions: &[Region]) -> Option<Failure> {
         }
     }
 
+    // Independent quantitative ground truth: the naive per-pair
+    // percentage matrices, computed straight from the geometry. Both
+    // enumeration strategies below run the same fused SoA kernel, so an
+    // engine-vs-engine comparison alone would let a shared kernel bug
+    // cancel out; every quantitative run must also reproduce these bit
+    // for bit.
+    let mut naive_pct = vec![None; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                naive_pct[i * n + j] =
+                    Some(tile_areas_with_mbb(&regions[i], cache.mbb(j)).percentages());
+            }
+        }
+    }
+
     for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
         for threads in [1usize, 2] {
             for prefilter in [true, false] {
@@ -249,6 +265,20 @@ pub fn check_join(regions: &[Region]) -> Option<Failure> {
                             "join-vs-allpairs",
                             format!("{label}: join {got:?}, all-pairs {want:?}"),
                         );
+                    }
+                }
+                if matches!(mode, EngineMode::Quantitative) {
+                    for got in out.pairs.iter().filter_map(|o| o.ok()) {
+                        let want = naive_pct[got.primary * n + got.reference].as_ref();
+                        if got.percentages.as_ref() != want {
+                            return fail(
+                                "join-pct-vs-naive",
+                                format!(
+                                    "{label} pair ({}, {}): materialized {:?}, naive {want:?}",
+                                    got.primary, got.reference, got.percentages
+                                ),
+                            );
+                        }
                     }
                 }
             }

@@ -36,6 +36,7 @@ pub mod area;
 pub mod band;
 pub mod bbox;
 pub mod clip;
+pub mod flatten;
 pub mod line;
 pub mod point;
 pub mod polygon;

@@ -111,6 +111,7 @@ impl Polygon {
 
     /// Iterates over the directed edges `v_i → v_{i+1}` (wrapping).
     pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        crate::flatten::record();
         let n = self.vertices.len();
         (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
     }

@@ -109,6 +109,7 @@ impl Region {
 
     /// Iterates over every edge of every member polygon.
     pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        crate::flatten::record();
         self.polygons.iter().flat_map(Polygon::edges)
     }
 

@@ -12,15 +12,18 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Telemetry smoke: the throughput bench must emit machine-readable JSON
 # lines that the workspace's own parser accepts, and the robust-predicate
-# counters must flow through the telemetry registry into that emission
-# (geometry.exact_fallback is the series dashboards watch).
+# and fused-pipeline counters must flow through the telemetry registry
+# into that emission (geometry.exact_fallback is the series dashboards
+# watch; engine_cell.fused_pairs and geometry.edge_flattens are the
+# SoA-pipeline accounting the zero-reflatten claim rests on).
 bench_json="$(mktemp /tmp/bench.XXXXXX.json)"
 bench_trace="$(mktemp /tmp/trace.XXXXXX.json)"
 trap 'rm -f "$bench_json" "$bench_trace"' EXIT
 cargo run --release --offline -p cardir-bench --bin engine_throughput -- 100 \
     --json "$bench_json" --trace "$bench_trace" > /dev/null
 cargo run --release --offline -p cardir-bench --bin json_check -- "$bench_json" \
-    --require geometry.exact_fallback --require geometry.orient2d_calls
+    --require geometry.exact_fallback --require geometry.orient2d_calls \
+    --require engine_cell.fused_pairs --require geometry.edge_flattens
 
 # Execution-trace smoke: the same run recorded a Chrome trace_event
 # timeline; it must survive the workspace's own JSON parser and the
@@ -39,6 +42,13 @@ cargo run --release --offline -p cardir-bench --bin trace_report -- "$bench_trac
 cargo run --release --offline -p cardir-bench --bin bench_diff -- BENCH_engine.json "$bench_json" \
     --filter threads=1 --threshold 3
 
+# The same gate restricted to the quantitative cells: the fused one-sweep
+# kernel is what keeps these within range of the qualitative ones, so a
+# regression here means the percentage pipeline fell back to two-pass
+# work (or worse) even if the qualitative cells still look fine.
+cargo run --release --offline -p cardir-bench --bin bench_diff -- BENCH_engine.json "$bench_json" \
+    --filter mode=quantitative --filter threads=1 --threshold 3
+
 # Spatial-join smoke: the sweep-partitioned batch path must complete a
 # 10k-region map (≈ 10^8 ordered pairs, counted not materialised;
 # --compare-max 0 skips the quadratic all-pairs baseline here) and emit
@@ -48,7 +58,8 @@ trap 'rm -f "$bench_json" "$join_json"' EXIT
 cargo run --release --offline -p cardir-bench --bin join_throughput -- 10000 \
     --compare-max 0 --json "$join_json" > /dev/null
 cargo run --release --offline -p cardir-bench --bin json_check -- "$join_json" \
-    --require join.candidates --require join.mask_emitted --require join.exact_pairs
+    --require join.candidates --require join.mask_emitted --require join.exact_pairs \
+    --require join.fused_pairs
 
 # Differential-fuzz smoke: 500 deterministic adversarial scenarios
 # cross-checked across the whole stack; any divergence or panic fails the
