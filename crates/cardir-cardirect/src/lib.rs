@@ -12,7 +12,10 @@
 //!   writer and parser);
 //! * [`query`] — the conjunctive query language over thematic attributes
 //!   and (possibly disjunctive) cardinal direction predicates, with an
-//!   optional R-tree-accelerated evaluator.
+//!   optional R-tree-accelerated evaluator;
+//! * [`journal`] — a crash-safe append-only relation journal backing the
+//!   incremental engine: edit a region, journal the delta, replay after
+//!   any crash.
 //!
 //! # Example: the paper's own query
 //!
@@ -34,10 +37,15 @@
 //! assert_eq!(answers[0].values, ["west", "east"]);
 //! ```
 
+pub mod journal;
 pub mod model;
 pub mod query;
 pub mod xml;
 
+pub use journal::{
+    JournalError, RebuildReason, RelationStore, ReplayReport, ReplaySource, StoreOptions,
+    StoreStats,
+};
 pub use model::{AnnotatedRegion, ConfigError, Configuration, StoredRelation};
 pub use query::{
     evaluate, evaluate_indexed, evaluate_indexed_with_stats, evaluate_with_stats, parse_query,

@@ -47,6 +47,16 @@ pub enum PersistError {
     },
     /// The file was readable but not a valid configuration document.
     Xml(XmlError),
+    /// The primary failed *and* an existing backup also failed. Both
+    /// causes are preserved: the primary's error says why the file
+    /// operators care about was rejected, the backup's why recovery
+    /// could not paper over it.
+    RecoveryFailed {
+        /// Why the primary was rejected.
+        primary: Box<PersistError>,
+        /// Why the `.bak` generation was rejected too.
+        backup: Box<PersistError>,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -56,6 +66,9 @@ impl fmt::Display for PersistError {
                 write!(f, "{op} failed for {}: {message}", path.display())
             }
             PersistError::Xml(e) => write!(f, "invalid configuration XML: {e}"),
+            PersistError::RecoveryFailed { primary, backup } => {
+                write!(f, "primary failed ({primary}); backup recovery failed ({backup})")
+            }
         }
     }
 }
@@ -230,9 +243,12 @@ fn write_temp(xml: &str, tmp: &Path) -> Result<(), PersistError> {
 /// Loads a configuration from `path`, falling back to the `.bak`
 /// generation when the primary is missing, unreadable, or torn.
 ///
-/// Returns the primary's error only when the backup also fails (or does
-/// not exist) — a successful backup recovery is not an error, but it is
-/// counted via [`cardir_faults::note_recovery`] so telemetry shows it.
+/// When no backup exists the primary's error is returned as-is; when a
+/// backup exists but also fails, both errors are surfaced together as
+/// [`PersistError::RecoveryFailed`], so operators still see why the
+/// primary was rejected. A successful backup recovery is not an error,
+/// but it is counted via [`cardir_faults::note_recovery`] so telemetry
+/// shows it.
 pub fn load_config(path: &Path) -> Result<Loaded, PersistError> {
     let primary_err = match read_parse(path, sites::XML_READ_PRIMARY) {
         Ok(config) => return Ok(Loaded { config, source: LoadSource::Primary }),
@@ -240,9 +256,17 @@ pub fn load_config(path: &Path) -> Result<Loaded, PersistError> {
     };
     let bak = backup_path(path);
     if bak.exists() {
-        if let Ok(config) = read_parse(&bak, "") {
-            cardir_faults::note_recovery();
-            return Ok(Loaded { config, source: LoadSource::Backup });
+        match read_parse(&bak, "") {
+            Ok(config) => {
+                cardir_faults::note_recovery();
+                return Ok(Loaded { config, source: LoadSource::Backup });
+            }
+            Err(backup_err) => {
+                return Err(PersistError::RecoveryFailed {
+                    primary: Box::new(primary_err),
+                    backup: Box::new(backup_err),
+                })
+            }
         }
     }
     Err(primary_err)

@@ -185,6 +185,36 @@ fn missing_primary_and_backup_reports_the_primary_error() {
 }
 
 #[test]
+fn corrupt_primary_and_backup_surface_both_errors() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    cardir_faults::disarm_all();
+    let dir = tempdir("bothbad");
+    let path = dir.join("config.xml");
+    save_xml_atomic(&sample("v1"), &path).unwrap();
+    save_xml_atomic(&sample("v2"), &path).unwrap();
+
+    // Corrupt both generations differently, so the message provably
+    // carries each file's own cause.
+    std::fs::write(&path, "<configuration but torn").unwrap();
+    std::fs::write(backup_path(&path), "not xml at all").unwrap();
+
+    let err = load_config(&path).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("primary failed (") && msg.contains("backup recovery failed ("),
+        "message must name both causes: {msg}"
+    );
+    assert!(msg.contains("invalid configuration XML"), "primary parse cause lost: {msg}");
+    match err {
+        cardir_cardirect::PersistError::RecoveryFailed { primary, backup } => {
+            assert!(primary.to_string().contains("invalid configuration XML"), "{primary}");
+            assert!(backup.to_string().contains("invalid configuration XML"), "{backup}");
+        }
+        other => panic!("expected RecoveryFailed, got {other:?}"),
+    }
+}
+
+#[test]
 fn injected_failures_at_every_write_step_leave_old_generation_intact() {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     cardir_faults::disarm_all();

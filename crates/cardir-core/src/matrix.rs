@@ -155,6 +155,17 @@ impl PercentageMatrix {
         PercentageMatrix::from_areas(areas)
     }
 
+    /// Rebuilds a matrix from raw rows (north row first), bit-for-bit.
+    ///
+    /// This is the deserialization counterpart of [`rows`](Self::rows):
+    /// persistence layers (the relation journal) store the nine `f64`
+    /// cells verbatim and must round-trip them exactly, so no
+    /// re-normalisation happens here — the caller is trusted to pass rows
+    /// that came out of a real `PercentageMatrix`.
+    pub fn from_rows(cells: [[f64; 3]; 3]) -> Self {
+        PercentageMatrix { cells }
+    }
+
     /// Percentage for one tile.
     pub fn get(&self, t: Tile) -> f64 {
         let (row, col) = t.matrix_position();
@@ -410,6 +421,20 @@ mod tests {
             }
             assert_eq!(fast.get(t), 100.0);
             assert_eq!(fast.sum(), 100.0);
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips_bit_for_bit() {
+        let mut areas = TileAreas::default();
+        *areas.get_mut(Tile::N) = 1.0 / 3.0;
+        *areas.get_mut(Tile::B) = 0.1; // not representable: exercises real bits
+        *areas.get_mut(Tile::SW) = 6.626e-34;
+        let original = areas.percentages();
+        let rebuilt = PercentageMatrix::from_rows(*original.rows());
+        assert_eq!(original, rebuilt);
+        for t in ALL_TILES {
+            assert_eq!(original.get(t).to_bits(), rebuilt.get(t).to_bits(), "tile {t:?}");
         }
     }
 

@@ -33,6 +33,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod incremental;
 pub mod join;
 pub mod metrics;
 pub mod policy;
@@ -40,6 +41,10 @@ pub mod prefilter;
 
 pub use batch::{BatchEngine, BatchResult, BatchStats, EngineError, EngineMode, PairRelation};
 pub use cache::RegionCache;
+pub use incremental::{
+    ApplyDelta, Edit, EditError, EditKind, IncrementalEngine, IncrementalError, IncrementalStats,
+    InstalledPair, RepairDelta,
+};
 pub use join::{interacting_pairs, JoinOutcome, JoinStats, JoinStrategy};
 pub use metrics::EngineMetrics;
 pub use policy::{

@@ -74,6 +74,21 @@ pub mod sites {
     /// (simulates an unreadable primary, forcing backup recovery),
     /// `Delay`, `Panic`.
     pub const XML_READ_PRIMARY: &str = "xml.read.primary";
+    /// Appending one framed record to the relation journal. Honours
+    /// `TornWrite` (a prefix of the frame reaches disk, then fail),
+    /// `IoError`/`Error`, `Delay`, `Panic` (kill mid-append).
+    pub const JOURNAL_APPEND: &str = "journal.append";
+    /// Writing the compacted snapshot to the journal's temporary file.
+    /// Honours `TornWrite`, `IoError`/`Error`, `Delay`, `Panic` (kill
+    /// mid-compaction; the old journal must stay authoritative).
+    pub const JOURNAL_COMPACT_WRITE: &str = "journal.compact.write";
+    /// Renaming the compacted temporary over the journal. Honours
+    /// `IoError`/`Error`, `Delay`, `Panic`.
+    pub const JOURNAL_COMPACT_RENAME: &str = "journal.compact.rename";
+    /// Opening/replaying the journal. Honours `IoError`/`Error` (an
+    /// unreadable journal must degrade to a full recompute, never an
+    /// abort), `Delay`, `Panic`.
+    pub const JOURNAL_REPLAY: &str = "journal.replay";
 }
 
 /// What an armed failpoint injects when it fires. The site decides how to
@@ -235,7 +250,31 @@ pub fn hit(site: &str) -> Option<FaultAction> {
     let action = state.action.clone();
     drop(map);
     events().record(&action);
+    record_site_fire(site);
     Some(action)
+}
+
+/// Per-site fired counters: how many times each named site actually
+/// injected a fault since process start. Unlike [`SiteState`] hit counts
+/// (which disarm with their guard), these survive arm/disarm cycles so a
+/// whole fault-injection run stays attributable site by site.
+fn site_fires() -> &'static Mutex<HashMap<String, u64>> {
+    static FIRES: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    FIRES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn record_site_fire(site: &str) {
+    let mut map = site_fires().lock().unwrap_or_else(PoisonError::into_inner);
+    *map.entry(site.to_string()).or_insert(0) += 1;
+}
+
+/// Point-in-time copy of the per-site fired counters, sorted by site
+/// name. Sites that never fired are absent.
+pub fn site_hits() -> Vec<(String, u64)> {
+    let map = site_fires().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut out: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    out.sort();
+    out
 }
 
 /// Process-global fault-event counters: injections by kind, plus
@@ -355,6 +394,20 @@ pub fn export(registry: &Registry) {
     ] {
         if value > 0 {
             registry.counter(name).add(value);
+        }
+    }
+
+    // Per-site deltas under the same drain discipline, so a run that
+    // armed `journal.append` shows up as `faults.site.journal.append`
+    // right next to the engine's `engine.faults.*` numbers.
+    static LAST_SITES: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    let last_sites = LAST_SITES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut last_sites = last_sites.lock().unwrap_or_else(PoisonError::into_inner);
+    for (site, fired) in site_hits() {
+        let prev = last_sites.insert(site.clone(), fired).unwrap_or(0);
+        let delta = fired.saturating_sub(prev);
+        if delta > 0 {
+            registry.counter(&format!("faults.site.{site}")).add(delta);
         }
     }
 }
@@ -481,6 +534,39 @@ mod tests {
         export(&registry); // nothing new since the drain
         let snap = registry.snapshot();
         assert_eq!(snap.counter("faults.injected_io"), None, "zero deltas create no counters");
+    }
+
+    #[test]
+    fn site_hits_count_fires_per_site_and_export_deltas() {
+        let _s = serial();
+        let fired_before = |site: &str| {
+            site_hits().iter().find(|(s, _)| s == site).map_or(0, |&(_, n)| n)
+        };
+        let before = fired_before("t.site_hits");
+        {
+            let _g = arm("t.site_hits", FaultAction::Error("e".into()), Trigger::Times(2));
+            for _ in 0..4 {
+                let _ = hit("t.site_hits");
+            }
+        }
+        // Re-arming resets the trigger's own hit count but not the
+        // process-wide per-site tally.
+        {
+            let _g = arm("t.site_hits", FaultAction::IoError("io".into()), Trigger::Times(1));
+            let _ = hit("t.site_hits");
+        }
+        assert_eq!(fired_before("t.site_hits"), before + 3);
+
+        let registry = Registry::new();
+        export(&registry); // drains everything accumulated so far
+        let registry = Registry::new();
+        export(&registry); // nothing fired since the drain
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("faults.site.t.site_hits"),
+            None,
+            "zero per-site deltas create no counters"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! supposed to be panic-free on valid input.
 
 pub mod checks;
+pub mod edits;
 pub mod faults;
 pub mod gen;
 pub mod legacy;
@@ -227,6 +228,60 @@ pub fn run_faults(base_seed: u64, iters: u64) -> FuzzReport {
     report
 }
 
+/// Runs the `edits` checks for one seed: a random edit script through
+/// the journaled incremental engine, differentially asserted against a
+/// fresh full recompute — clean, then under probabilistic faults with
+/// kill-mid-append and kill-mid-compaction crash/replay cycles.
+///
+/// Arms process-global failpoints: must not run concurrently with other
+/// failpoint users (the CLI and the smoke tests serialize it).
+pub fn run_seed_edits(seed: u64) -> Vec<Divergence> {
+    let family = "edit-scripts";
+    let mut out = Vec::new();
+
+    let mut caught = |name: &'static str, result: std::thread::Result<Option<checks::Failure>>| {
+        match result {
+            Ok(None) => {}
+            Ok(Some(failure)) => out.push(Divergence {
+                seed,
+                family,
+                check: failure.check.to_string(),
+                detail: failure.detail,
+            }),
+            Err(payload) => out.push(Divergence {
+                seed,
+                family,
+                check: format!("panic-{name}"),
+                detail: panic_message(payload),
+            }),
+        }
+    };
+
+    let result = catch_unwind(AssertUnwindSafe(|| edits::check_edit_script(seed)));
+    cardir_faults::disarm_all();
+    caught("edit-script", result);
+
+    // Injected kills are panics the check itself catches; one escaping
+    // to here is a divergence, and the registry is left disarmed either
+    // way.
+    let result = cardir_faults::with_silent_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| edits::check_edit_faults(seed)))
+    });
+    cardir_faults::disarm_all();
+    caught("edit-faults", result);
+    out
+}
+
+/// The `--family edits` counterpart of [`run`]: `iters` seeded
+/// edit-script iterations starting at `base_seed`.
+pub fn run_edits(base_seed: u64, iters: u64) -> FuzzReport {
+    let mut report = FuzzReport { iterations: iters, ..FuzzReport::default() };
+    for k in 0..iters {
+        report.divergences.extend(run_seed_edits(base_seed.wrapping_add(k)));
+    }
+    report
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -334,6 +389,25 @@ mod tests {
                 "seed {seed}: legacy predicates unexpectedly agreed with ground truth everywhere"
             );
         }
+    }
+
+    /// The CI edits sweep in miniature: a seeded block of journaled
+    /// edit scripts — crash cycles, kills, probabilistic faults — must
+    /// be divergence-free.
+    #[test]
+    fn edits_block_is_divergence_free() {
+        let report = run_edits(1, 10);
+        assert_eq!(report.iterations, 10);
+        assert!(
+            report.divergences.is_empty(),
+            "unexpected divergences:\n{}",
+            report
+                .divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 
     #[test]

@@ -23,13 +23,19 @@
 //! magnitude a quarter of the time — the geometry that stresses the
 //! join's partition oracle and its mask-emitted relations.
 //!
+//! `--family edits` (or `edit-scripts`) drives random edit scripts
+//! through the journaled incremental engine: every step is bit-compared
+//! against a fresh full recompute, stores are dropped and replayed
+//! mid-script, and a second pass arms probabilistic compute/journal
+//! faults plus kill-mid-append and kill-mid-compaction crash cycles.
+//!
 //! Exits non-zero when any divergence (or panic) is found, printing each
 //! one with its replay command.
 
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: cardir-fuzz [--seed N] [--iters M] [--faults] [--family ulp|join]");
+    eprintln!("usage: cardir-fuzz [--seed N] [--iters M] [--faults] [--family ulp|join|edits]");
     std::process::exit(2)
 }
 
@@ -58,6 +64,7 @@ fn main() -> ExitCode {
         (false, None) => cardir_fuzz::run(seed, iters),
         (false, Some("ulp" | "ulp-adversarial")) => cardir_fuzz::run_ulp(seed, iters),
         (false, Some("join" | "join-clusters")) => cardir_fuzz::run_join(seed, iters),
+        (false, Some("edits" | "edit-scripts")) => cardir_fuzz::run_edits(seed, iters),
         _ => usage(),
     };
     for d in &report.divergences {

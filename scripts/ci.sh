@@ -83,4 +83,27 @@ cargo run --offline -p cardir-fuzz -- --family join --iters 200 --seed 1
 cargo run --offline -p cardir-fuzz -- --faults --iters 120 --seed 1
 cargo test -q --offline --test fault_injection
 
+# Edit-script adversarial smoke: 150 seeds of incremental edit scripts
+# (replaces, inserts, removes) on a journaled store, each step
+# differentially checked against a fresh full spatial join, with
+# drop/reopen replay cycles and a faulted block (compute errors, torn
+# journal appends, kills mid-append and mid-compaction) that must leave
+# pairs pending — never wrong — and converge after repair.
+cargo run --offline -p cardir-fuzz -- --family edits --iters 150 --seed 1
+
+# Incremental-engine gate: the edit bench at N=1000 must emit the
+# invalidation and replay counters the delta-maintenance claims rest on,
+# and edit throughput must stay within 3x of the committed baseline
+# (edits_per_sec is higher-is-better, so it gates as a lower bound).
+incr_json="$(mktemp /tmp/incr.XXXXXX.json)"
+trap 'rm -f "$bench_json" "$bench_trace" "$join_json" "$incr_json"' EXIT
+cargo run --release --offline -p cardir-bench --bin incremental_throughput -- 1000 \
+    --json "$incr_json" > /dev/null
+cargo run --release --offline -p cardir-bench --bin json_check -- "$incr_json" \
+    --require incremental.pairs_invalidated --require incremental.replay \
+    --require incremental.speedup_vs_full
+cargo run --release --offline -p cardir-bench --bin bench_diff -- BENCH_incremental.json "$incr_json" \
+    --key incremental=regions --metric incremental.edits_per_sec:lower \
+    --filter regions=1000 --threshold 3
+
 echo "ci: all green"
