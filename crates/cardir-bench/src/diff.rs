@@ -10,7 +10,48 @@
 //! regressions fail the offline gate without flaking on machine noise.
 
 use cardir_telemetry::{parse_json, Json};
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Why a diff run could not produce a verdict. Every variant is a hard
+/// gate failure: CI treats an error exactly like a failed report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffError {
+    /// A config threshold that cannot express a regression allowance.
+    BadThreshold(f64),
+    /// An input file failed to parse as BENCH-format JSON lines.
+    Parse(String),
+    /// A compared value or the resulting improvement ratio is NaN or
+    /// infinite. Ratio arithmetic is meaningless there, and letting the
+    /// row through would let it sort as `Equal` and slide past the gate
+    /// — so a non-finite series is a named, hard failure instead.
+    NonFiniteRatio {
+        /// `TYPE.FIELD` of the offending metric.
+        metric: String,
+        /// The record's identity, e.g. `mode=qualitative threads=1`.
+        key: String,
+        /// Baseline value as parsed.
+        baseline: f64,
+        /// New value as parsed.
+        new: f64,
+    },
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::BadThreshold(t) => write!(f, "threshold must be > 1, got {t}"),
+            DiffError::Parse(msg) => write!(f, "{msg}"),
+            DiffError::NonFiniteRatio { metric, key, baseline, new } => write!(
+                f,
+                "non-finite ratio: {metric} [{key}] baseline {baseline} vs new {new} \
+                 does not admit a finite improvement ratio; refusing to gate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
 
 /// One tracked metric: a record type, the field holding the number, and
 /// its direction (throughput-style fields are higher-is-better; latency
@@ -195,14 +236,15 @@ fn record_key(record: &Json, fields: &[String]) -> String {
 /// Every baseline record that (a) has a tracked metric's type, (b)
 /// passes the filters, and (c) carries the metric field becomes one
 /// [`DiffRow`]; a missing counterpart in `new` is a failed row (a
-/// vanished series is a regression, not a skip). Errors only on
-/// unparseable input.
-pub fn run_diff(baseline: &str, new: &str, cfg: &DiffConfig) -> Result<DiffReport, String> {
+/// vanished series is a regression, not a skip). Errors on unparseable
+/// input and on any series whose values or ratio are non-finite
+/// ([`DiffError::NonFiniteRatio`]).
+pub fn run_diff(baseline: &str, new: &str, cfg: &DiffConfig) -> Result<DiffReport, DiffError> {
     if cfg.threshold <= 1.0 {
-        return Err(format!("threshold must be > 1, got {}", cfg.threshold));
+        return Err(DiffError::BadThreshold(cfg.threshold));
     }
-    let base_records = parse_lines(baseline, "baseline")?;
-    let new_records = parse_lines(new, "new")?;
+    let base_records = parse_lines(baseline, "baseline").map_err(DiffError::Parse)?;
+    let new_records = parse_lines(new, "new").map_err(DiffError::Parse)?;
     let mut rows = Vec::new();
     for metric in &cfg.metrics {
         let key_fields = cfg.key_fields(&metric.record_type);
@@ -227,13 +269,31 @@ pub fn run_diff(baseline: &str, new: &str, cfg: &DiffConfig) -> Result<DiffRepor
             let counterpart = news.iter().find(|r| record_key(r, key_fields) == key);
             let new_value = counterpart.and_then(|r| r.get(&metric.field)).and_then(Json::as_f64);
             let metric_name = format!("{}.{}", metric.record_type, metric.field);
+            let non_finite = |new_value: f64| DiffError::NonFiniteRatio {
+                metric: format!("{}.{}", metric.record_type, metric.field),
+                key: key.clone(),
+                baseline: base_value,
+                new: new_value,
+            };
             let row = match new_value {
+                Some(new_value) if !base_value.is_finite() || !new_value.is_finite() => {
+                    // A NaN or infinity on either side (the JSON layer
+                    // parses over-range literals like 1e999 to infinity)
+                    // poisons every comparison downstream; fail loudly
+                    // instead of letting the row sort as Equal.
+                    return Err(non_finite(new_value));
+                }
                 Some(new_value) if base_value > 0.0 && new_value > 0.0 => {
                     let ratio = if metric.lower_is_better {
                         base_value / new_value
                     } else {
                         new_value / base_value
                     };
+                    if !ratio.is_finite() {
+                        // Finite inputs can still overflow the division
+                        // (1e308 / 1e-308); same hard failure.
+                        return Err(non_finite(new_value));
+                    }
                     DiffRow {
                         metric: metric_name,
                         key,
@@ -265,7 +325,10 @@ pub fn run_diff(baseline: &str, new: &str, cfg: &DiffConfig) -> Result<DiffRepor
             rows.push(row);
         }
     }
-    rows.sort_by(|a, b| a.ratio.partial_cmp(&b.ratio).unwrap_or(std::cmp::Ordering::Equal));
+    // Non-finite ratios errored out above, but sort under a total order
+    // anyway — partial_cmp's Equal fallback would leave any future NaN
+    // wherever it happened to sit instead of surfacing it first.
+    rows.sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
     Ok(DiffReport { rows, threshold: cfg.threshold })
 }
 
@@ -373,6 +436,44 @@ mod tests {
         assert!(run_diff("not json", "", &DiffConfig::default()).is_err());
         let cfg = DiffConfig { threshold: 0.5, ..DiffConfig::default() };
         assert!(run_diff("", "", &cfg).is_err(), "threshold must exceed 1");
+    }
+
+    #[test]
+    fn non_finite_input_value_is_a_hard_named_failure() {
+        // The workspace JSON parser turns over-range literals (1e999)
+        // into f64::INFINITY; before the named error this produced an
+        // inf or NaN ratio that sorted Equal and could pass the gate.
+        let inf_new =
+            "{\"type\":\"engine_cell\",\"mode\":\"qualitative\",\"threads\":1,\"pairs_per_sec\":1e999}\n";
+        let err = run_diff(BASE, inf_new, &DiffConfig::default()).unwrap_err();
+        match err {
+            DiffError::NonFiniteRatio { ref metric, ref key, baseline, new } => {
+                assert_eq!(metric, "engine_cell.pairs_per_sec");
+                assert_eq!(key, "mode=qualitative threads=1");
+                assert_eq!(baseline, 1_000_000.0);
+                assert!(new.is_infinite());
+            }
+            other => panic!("expected NonFiniteRatio, got {other:?}"),
+        }
+        assert!(err.to_string().contains("non-finite ratio"), "{err}");
+
+        // An infinite baseline is just as poisonous as an infinite new.
+        let ok_new = cells(1_000_000.0, 2_000_000.0, 5_000_000.0);
+        assert!(matches!(
+            run_diff(inf_new, &ok_new, &DiffConfig::default()),
+            Err(DiffError::NonFiniteRatio { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_ratio_from_finite_values_is_a_hard_failure() {
+        // Both sides finite, but the division overflows to infinity.
+        let base = "{\"type\":\"engine_cell\",\"mode\":\"qualitative\",\"threads\":1,\"pairs_per_sec\":1e-308}\n";
+        let new = "{\"type\":\"engine_cell\",\"mode\":\"qualitative\",\"threads\":1,\"pairs_per_sec\":1e308}\n";
+        assert!(matches!(
+            run_diff(base, new, &DiffConfig::default()),
+            Err(DiffError::NonFiniteRatio { .. })
+        ));
     }
 
     #[test]

@@ -104,12 +104,18 @@ impl std::error::Error for JournalError {}
 pub enum RebuildReason {
     /// No journal file existed.
     Missing,
-    /// The journal existed but was unusable: unreadable, bad header, a
-    /// checksum mismatch on a complete record, or state that failed
+    /// The journal existed but its *contents* were unusable: bad header,
+    /// a checksum mismatch on a complete record, or state that failed
     /// validation.
     Corrupt,
     /// The journal belongs to a different base region set or mode.
     Stale,
+    /// The journal could not be read at the IO level (permissions, a
+    /// non-directory in the path, device errors) — distinct from
+    /// [`Corrupt`](RebuildReason::Corrupt) because the bytes were never
+    /// seen, and from [`Missing`](RebuildReason::Missing) because a
+    /// healthy cold start looks nothing like an unreadable directory.
+    Unreadable,
 }
 
 /// How a [`RelationStore`] obtained its state at open.
@@ -130,7 +136,8 @@ pub enum ReplaySource {
 
 impl ReplaySource {
     /// A short machine-readable label (`journal`, `truncated`,
-    /// `rebuilt-missing`, `rebuilt-corrupt`, `rebuilt-stale`).
+    /// `rebuilt-missing`, `rebuilt-corrupt`, `rebuilt-stale`,
+    /// `rebuilt-unreadable`).
     pub fn label(&self) -> &'static str {
         match self {
             ReplaySource::Journal => "journal",
@@ -138,6 +145,7 @@ impl ReplaySource {
             ReplaySource::Rebuilt(RebuildReason::Missing) => "rebuilt-missing",
             ReplaySource::Rebuilt(RebuildReason::Corrupt) => "rebuilt-corrupt",
             ReplaySource::Rebuilt(RebuildReason::Stale) => "rebuilt-stale",
+            ReplaySource::Rebuilt(RebuildReason::Unreadable) => "rebuilt-unreadable",
         }
     }
 }
@@ -255,11 +263,19 @@ impl RelationStore {
                 store.report =
                     ReplayReport { source: ReplaySource::Rebuilt(reason), records_replayed: 0, detail };
                 // Write a fresh journal; on failure the store stays
-                // usable in memory and the next write retries.
+                // usable in memory and the next write retries — but the
+                // failure is recorded, so an unwritable journal location
+                // is distinguishable from a healthy cold start.
                 store.durable_len = 0;
                 store.records = 0;
                 store.healthy = false;
-                let _ = store.compact();
+                if let Err(e) = store.compact() {
+                    let msg = format!("journal not writable at open: {e}");
+                    store.report.detail = Some(match store.report.detail.take() {
+                        Some(d) => format!("{d}; {msg}"),
+                        None => msg,
+                    });
+                }
             }
         }
         store
@@ -297,6 +313,16 @@ impl RelationStore {
         self.healthy
     }
 
+    /// Whether a durable journal was *ever* established for this store —
+    /// by a clean replay, a successful append, or a completed
+    /// compaction. `false` means every IO attempt against the journal
+    /// location has failed since open (e.g. an unwritable directory):
+    /// the store works in memory only, and [`sync`](Self::sync) cannot
+    /// succeed until the location becomes writable.
+    pub fn journal_writable(&self) -> bool {
+        self.healthy || self.stats.appends > 0 || self.stats.compactions > 0
+    }
+
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
@@ -324,8 +350,14 @@ impl RelationStore {
     }
 
     /// Forces the durable journal to reflect the in-memory state:
-    /// compacts when the journal is unhealthy or oversized, otherwise a
-    /// no-op.
+    /// compacts when the journal is unhealthy, otherwise a no-op.
+    ///
+    /// On a store that never had a writable journal (see
+    /// [`journal_writable`](Self::journal_writable)) this is a hard
+    /// error, not a silent no-op: the compaction retry fails against the
+    /// same unwritable location and its [`JournalError`] propagates, so
+    /// a caller that believes it synced has actually been told the state
+    /// is memory-only.
     pub fn sync(&mut self) -> Result<(), JournalError> {
         if !self.healthy {
             self.compact()
@@ -486,7 +518,10 @@ impl RelationStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err((RebuildReason::Missing, None));
             }
-            Err(e) => return Err((RebuildReason::Corrupt, Some(e.to_string()))),
+            // Any other read failure means the bytes were never
+            // inspected — an IO-level problem (permissions, ENOTDIR,
+            // device error), not corruption.
+            Err(e) => return Err((RebuildReason::Unreadable, Some(e.to_string()))),
         };
         if bytes.len() < HEADER_LEN as usize {
             return Err((RebuildReason::Corrupt, Some("truncated header".into())));
@@ -1109,6 +1144,50 @@ mod tests {
         assert_eq!(again.replay_report().source, ReplaySource::Journal);
         assert_same_state(store.engine(), again.engine());
         cleanup(&path);
+    }
+
+    #[test]
+    fn unreadable_journal_location_is_not_a_healthy_cold_start() {
+        // A regular file as the parent "directory" makes every journal
+        // IO fail with ENOTDIR — the portable stand-in for an unreadable
+        // directory, and unlike permission bits it also stops root (the
+        // CI user).
+        let blocker = scratch("unreadable-blocker");
+        cleanup(&blocker);
+        fs::write(&blocker, b"not a directory").unwrap();
+        let path = blocker.join("journal.cdj");
+
+        let mut store = RelationStore::open(&path, &base(), StoreOptions::default());
+        let report = store.replay_report().clone();
+        assert_eq!(
+            report.source,
+            ReplaySource::Rebuilt(RebuildReason::Unreadable),
+            "an IO-level read failure must not masquerade as missing or corrupt"
+        );
+        assert_eq!(report.source.label(), "rebuilt-unreadable");
+        let detail = report.detail.as_deref().expect("detail carries both failures");
+        assert!(detail.contains("journal not writable at open"), "{detail}");
+        assert!(!store.journal_healthy(), "no durable journal exists");
+        assert!(!store.journal_writable(), "no journal IO ever succeeded");
+
+        // The store still works in memory…
+        store.apply(Edit::Remove(0), &RunPolicy::default()).unwrap();
+        assert_eq!(store.engine().live_count(), 3);
+        // …but sync() must reject rather than pretend durability.
+        let err = store.sync().expect_err("sync on a never-writable journal");
+        assert_eq!(err.op, "compact-write");
+        assert!(!store.journal_writable());
+        assert_eq!(store.stats().appends, 0);
+
+        // A healthy cold start, for contrast, reports Missing + writable.
+        let ok_path = scratch("coldstart");
+        cleanup(&ok_path);
+        let store = RelationStore::open(&ok_path, &base(), StoreOptions::default());
+        assert_eq!(store.replay_report().source, ReplaySource::Rebuilt(RebuildReason::Missing));
+        assert!(store.journal_healthy());
+        assert!(store.journal_writable());
+        cleanup(&ok_path);
+        cleanup(&blocker);
     }
 
     #[test]

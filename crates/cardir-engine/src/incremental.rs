@@ -74,6 +74,7 @@ use cardir_index::RTree;
 use cardir_telemetry::Registry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A mutation of the region set.
 #[derive(Debug, Clone, PartialEq)]
@@ -258,6 +259,163 @@ pub struct IncrementalEngine {
 struct StoredPair {
     relation: CardinalRelation,
     percentages: Option<PercentageMatrix>,
+}
+
+/// An immutable, cheaply-cloneable view of an [`IncrementalEngine`]'s
+/// relation state at one instant.
+///
+/// The snapshot shares the slot table and pair maps behind [`Arc`]s, so
+/// cloning it is O(1) and every read method works without touching the
+/// engine — which is what lets a server hand out snapshots to concurrent
+/// reader threads while a single writer keeps applying edits to the
+/// engine and publishing fresh snapshots on commit. A snapshot never
+/// changes after creation: readers observe the exact state the writer
+/// published, never a half-applied edit.
+///
+/// All read paths (`relation`, `materialize`) are shared with the
+/// engine's own implementations, so a snapshot's answers are
+/// bit-identical to asking the engine at the moment [`IncrementalEngine::snapshot`]
+/// was taken.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    mode: EngineMode,
+    slots: Arc<[Option<Region>]>,
+    live: usize,
+    exact: Arc<BTreeMap<(u32, u32), StoredPair>>,
+    pending: Arc<BTreeSet<(u32, u32)>>,
+    stats: IncrementalStats,
+}
+
+impl EngineSnapshot {
+    /// The computation mode of the engine this snapshot came from.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Number of live regions at snapshot time.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// The slot table, including removed (`None`) slots.
+    pub fn slots(&self) -> &[Option<Region>] {
+        &self.slots
+    }
+
+    /// The region in `slot`, when live.
+    pub fn region(&self, slot: u32) -> Option<&Region> {
+        self.slots.get(slot as usize).and_then(Option::as_ref)
+    }
+
+    /// Live `(slot, region)` entries in slot order.
+    pub fn live_regions(&self) -> impl Iterator<Item = (u32, &Region)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|r| (id as u32, r)))
+    }
+
+    /// Number of stored exact pairs at snapshot time.
+    pub fn exact_count(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Number of pairs awaiting repair at snapshot time.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative engine counters at snapshot time.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// The relation `primary R reference` under this snapshot — same
+    /// semantics as [`IncrementalEngine::relation`].
+    pub fn relation(&self, primary: u32, reference: u32) -> Option<CardinalRelation> {
+        relation_in(&self.slots, &self.exact, &self.pending, primary, reference)
+    }
+
+    /// Expands the snapshot to the full ordered-pair relation list —
+    /// same semantics and bit-identical output as
+    /// [`IncrementalEngine::materialize`] at snapshot time.
+    pub fn materialize(&self) -> Result<Vec<PairRelation>, IncrementalError> {
+        materialize_state(self.mode, &self.slots, &self.exact, &self.pending)
+    }
+}
+
+/// Shared read path: the relation `primary R reference` over a slot
+/// table and pair maps (stored exact value, else box-derived, else
+/// `None` for dead/equal/pending).
+fn relation_in(
+    slots: &[Option<Region>],
+    exact: &BTreeMap<(u32, u32), StoredPair>,
+    pending: &BTreeSet<(u32, u32)>,
+    primary: u32,
+    reference: u32,
+) -> Option<CardinalRelation> {
+    if primary == reference || pending.contains(&(primary, reference)) {
+        return None;
+    }
+    if let Some(sp) = exact.get(&(primary, reference)) {
+        return Some(sp.relation);
+    }
+    let ma = slots.get(primary as usize).and_then(Option::as_ref).map(Region::mbb)?;
+    let mb = slots.get(reference as usize).and_then(Option::as_ref).map(Region::mbb)?;
+    decided_tile(ma, mb).map(CardinalRelation::single)
+}
+
+/// Shared materialize path: expands delta state to the full ordered-pair
+/// relation list, primary-major in live-slot order, with decided pairs
+/// derived through the batch engine's own `emit_decided`. Fails while
+/// pairs are pending repair.
+fn materialize_state(
+    mode: EngineMode,
+    slots: &[Option<Region>],
+    exact: &BTreeMap<(u32, u32), StoredPair>,
+    pending: &BTreeSet<(u32, u32)>,
+) -> Result<Vec<PairRelation>, IncrementalError> {
+    if !pending.is_empty() {
+        return Err(IncrementalError::PendingPairs(pending.len()));
+    }
+    let mut ids: Vec<u32> = Vec::new();
+    let mut regions: Vec<&Region> = Vec::new();
+    for (id, slot) in slots.iter().enumerate() {
+        if let Some(region) = slot {
+            ids.push(id as u32);
+            regions.push(region);
+        }
+    }
+    let cache = RegionCache::build(regions);
+    let mut tally = Tally::default();
+    let n = ids.len();
+    let mut out = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
+    for (i, &a) in ids.iter().enumerate() {
+        for (j, &b) in ids.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(sp) = exact.get(&(a, b)) {
+                out.push(PairRelation {
+                    primary: i,
+                    reference: j,
+                    relation: sp.relation,
+                    percentages: sp.percentages,
+                    via_prefilter: false,
+                });
+                continue;
+            }
+            match decided_tile(cache.mbb(i), cache.mbb(j)) {
+                Some(tile) => {
+                    out.push(emit_decided(&cache, i, j, tile, mode, &mut tally));
+                }
+                None => {
+                    return Err(IncrementalError::InconsistentState { primary: a, reference: b })
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 impl IncrementalEngine {
@@ -456,15 +614,21 @@ impl IncrementalEngine {
     /// The relation `primary R reference`, or `None` when either slot is
     /// dead, the slots are equal, or the pair is pending repair.
     pub fn relation(&self, primary: u32, reference: u32) -> Option<CardinalRelation> {
-        if primary == reference || self.pending.contains(&(primary, reference)) {
-            return None;
+        relation_in(&self.slots, &self.exact, &self.pending, primary, reference)
+    }
+
+    /// Takes an immutable snapshot of the current relation state. The
+    /// snapshot is detached: later edits to the engine do not affect it,
+    /// and cloning it is O(1) — see [`EngineSnapshot`].
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            mode: self.mode,
+            slots: self.slots.clone().into(),
+            live: self.live,
+            exact: Arc::new(self.exact.clone()),
+            pending: Arc::new(self.pending.clone()),
+            stats: self.stats,
         }
-        if let Some(sp) = self.exact.get(&(primary, reference)) {
-            return Some(sp.relation);
-        }
-        let ma = self.live_mbb(primary)?;
-        let mb = self.live_mbb(reference)?;
-        decided_tile(ma, mb).map(CardinalRelation::single)
     }
 
     fn live_mbb(&self, slot: u32) -> Option<BoundingBox> {
@@ -602,44 +766,7 @@ impl IncrementalEngine {
     /// is bit-identical to a fresh full recompute of the current
     /// configuration. Fails while pairs are pending repair.
     pub fn materialize(&self) -> Result<Vec<PairRelation>, IncrementalError> {
-        if !self.pending.is_empty() {
-            return Err(IncrementalError::PendingPairs(self.pending.len()));
-        }
-        let ids: Vec<u32> = self.live_regions().map(|(id, _)| id).collect();
-        let regions: Vec<&Region> = self.live_regions().map(|(_, r)| r).collect();
-        let cache = RegionCache::build(regions);
-        let mut tally = Tally::default();
-        let n = ids.len();
-        let mut out = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
-        for (i, &a) in ids.iter().enumerate() {
-            for (j, &b) in ids.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                if let Some(sp) = self.exact.get(&(a, b)) {
-                    out.push(PairRelation {
-                        primary: i,
-                        reference: j,
-                        relation: sp.relation,
-                        percentages: sp.percentages,
-                        via_prefilter: false,
-                    });
-                    continue;
-                }
-                match decided_tile(cache.mbb(i), cache.mbb(j)) {
-                    Some(tile) => {
-                        out.push(emit_decided(&cache, i, j, tile, self.mode, &mut tally));
-                    }
-                    None => {
-                        return Err(IncrementalError::InconsistentState {
-                            primary: a,
-                            reference: b,
-                        })
-                    }
-                }
-            }
-        }
-        Ok(out)
+        materialize_state(self.mode, &self.slots, &self.exact, &self.pending)
     }
 
     /// Folds the engine's counters into `registry` as `incremental.*`
@@ -1073,6 +1200,62 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, IncrementalError::InconsistentState { primary: 0, reference: 9 });
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_edits() {
+        for mode in [EngineMode::Qualitative, EngineMode::Quantitative] {
+            let mut engine =
+                IncrementalEngine::bootstrap(mode, 1, map(61, 20), &RunPolicy::default());
+            let before = engine.materialize().expect("no pending pairs");
+            let snap = engine.snapshot();
+            assert_eq!(snap.live_count(), engine.live_count());
+            assert_eq!(snap.exact_count(), engine.exact_count());
+            // Mutate the engine heavily after the snapshot was taken.
+            for replacement in map(67, 6) {
+                let live: Vec<u32> = engine.live_regions().map(|(id, _)| id).collect();
+                engine.apply(Edit::Replace(live[0], replacement)).expect("applies");
+            }
+            engine.apply(Edit::Remove(3)).expect("applies");
+            // The snapshot still answers with the pre-edit state, and its
+            // materialization is bit-identical to the pre-edit engine's.
+            assert_eq!(snap.materialize().expect("snapshot has no pending"), before);
+            assert_ne!(engine.materialize().expect("no pending").len(), 0);
+            // Per-pair reads agree with the pre-edit full list.
+            let ids: Vec<u32> = snap.live_regions().map(|(id, _)| id).collect();
+            for &a in ids.iter().take(5) {
+                for &b in ids.iter().take(5) {
+                    if a == b {
+                        continue;
+                    }
+                    assert!(snap.relation(a, b).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_pending_pairs() {
+        let mut engine = IncrementalEngine::bootstrap(
+            EngineMode::Qualitative,
+            1,
+            vec![rect(0.0, 0.0, 10.0, 10.0), rect(5.0, 5.0, 15.0, 15.0)],
+            &RunPolicy::default(),
+        );
+        // Force a pending pair by replaying one verbatim.
+        engine
+            .replay_apply(
+                EditKind::Replace,
+                0,
+                Some(rect(0.0, 0.0, 10.0, 10.0)),
+                Vec::new(),
+                vec![(0, 1), (1, 0)],
+            )
+            .expect("replays");
+        let snap = engine.snapshot();
+        assert_eq!(snap.pending_count(), 2);
+        assert!(snap.relation(0, 1).is_none(), "pending pairs are excluded from reads");
+        assert_eq!(snap.materialize().unwrap_err(), IncrementalError::PendingPairs(2));
     }
 
     #[test]

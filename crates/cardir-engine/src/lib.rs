@@ -42,8 +42,8 @@ pub mod prefilter;
 pub use batch::{BatchEngine, BatchResult, BatchStats, EngineError, EngineMode, PairRelation};
 pub use cache::RegionCache;
 pub use incremental::{
-    ApplyDelta, Edit, EditError, EditKind, IncrementalEngine, IncrementalError, IncrementalStats,
-    InstalledPair, RepairDelta,
+    ApplyDelta, Edit, EditError, EditKind, EngineSnapshot, IncrementalEngine, IncrementalError,
+    IncrementalStats, InstalledPair, RepairDelta,
 };
 pub use join::{interacting_pairs, JoinOutcome, JoinStats, JoinStrategy};
 pub use metrics::EngineMetrics;

@@ -54,7 +54,7 @@ pub mod trace;
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metric::{Counter, Histogram, HistogramSnapshot, COUNT_BOUNDS, DURATION_BOUNDS_NS};
 pub use registry::{Registry, Snapshot};
-pub use sink::{JsonLines, Report};
+pub use sink::{render_json_lines, JsonLines, Report};
 pub use span::Span;
 pub use trace::{
     ChromeTrace, PhaseBreakdown, ProcessAnalysis, ThreadTrace, ThreadUtilization, TraceEvent,

@@ -44,6 +44,38 @@ impl Report {
     }
 }
 
+/// Renders a [`Snapshot`] as self-describing JSON lines — one record
+/// per metric, each with a `"type"` and `"name"` field — the in-memory
+/// counterpart of [`JsonLines`] for transports that want a `String`
+/// (the `cardird` `/metrics` endpoint). Counters carry their exact
+/// value; histograms carry count, sum, mean, and the p50/p95/p99
+/// estimates. Metrics appear in name order, counters first.
+pub fn render_json_lines(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let line = Json::obj([
+            ("type", Json::from("counter")),
+            ("name", Json::from(name.as_str())),
+            ("value", Json::U64(*value)),
+        ]);
+        let _ = writeln!(out, "{line}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let line = Json::obj([
+            ("type", Json::from("histogram")),
+            ("name", Json::from(name.as_str())),
+            ("count", Json::U64(h.count)),
+            ("sum", Json::U64(h.sum)),
+            ("mean", Json::F64(h.mean())),
+            ("p50", Json::F64(h.p50())),
+            ("p95", Json::F64(h.p95())),
+            ("p99", Json::F64(h.p99())),
+        ]);
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
 /// Writes self-describing JSON-lines records: one object per line, each
 /// carrying a `"type"` field so a stream of mixed records stays
 /// machine-readable without a schema on the side.
@@ -139,6 +171,26 @@ mod tests {
         assert!(text.contains("engine.pairs"), "{text}");
         assert!(text.contains("count"), "{text}");
         assert_eq!(Report::render(&Snapshot::default()), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn render_json_lines_is_one_parsable_record_per_metric() {
+        let r = Registry::new();
+        r.counter("server.requests").add(12);
+        r.histogram("server.request_ns", &[10, 100]).record(42);
+        let text = render_json_lines(&r.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let counter = parse(lines[0]).unwrap();
+        assert_eq!(counter.get("type").and_then(Json::as_str), Some("counter"));
+        assert_eq!(counter.get("name").and_then(Json::as_str), Some("server.requests"));
+        assert_eq!(counter.get("value").and_then(Json::as_u64), Some(12));
+        let hist = parse(lines[1]).unwrap();
+        assert_eq!(hist.get("type").and_then(Json::as_str), Some("histogram"));
+        assert_eq!(hist.get("name").and_then(Json::as_str), Some("server.request_ns"));
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        assert!(hist.get("p95").and_then(Json::as_f64).is_some());
+        assert_eq!(render_json_lines(&Snapshot::default()), "");
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod rng;
 pub mod sweep;
 
 pub use greece::{scenario as greece_scenario, Alliance, GreeceRegion};
-pub use maps::{random_map, MapRegion};
+pub use maps::{random_map, random_region, MapRegion};
 pub use polygons::{comb_polygon, star_polygon};
 pub use regions::{archipelago, frame, overlapping_pair, RegionSpec};
 pub use rng::{RandomRange, SplitMix64};

@@ -1,0 +1,75 @@
+//! The `cardird` daemon entry point.
+//!
+//! ```text
+//! cardird [--addr HOST:PORT] [--workers N] [--data-dir DIR]
+//!         [--mode qualitative|quantitative] [--engine-threads N]
+//!         [--default-deadline-ms MS]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound (CI parses this line to
+//! learn the ephemeral port), then serves until killed.
+
+use cardir_engine::EngineMode;
+use cardird::{serve, ServerConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cardird [--addr HOST:PORT] [--workers N] [--data-dir DIR] \
+         [--mode qualitative|quantitative] [--engine-threads N] [--default-deadline-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7341".to_string(),
+        workers: 8,
+        data_dir: PathBuf::from("cardird-data"),
+        mode: EngineMode::Quantitative,
+        engine_threads: 1,
+        default_deadline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => match value().parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => usage(),
+            },
+            "--data-dir" => config.data_dir = PathBuf::from(value()),
+            "--mode" => match value().as_str() {
+                "qualitative" => config.mode = EngineMode::Qualitative,
+                "quantitative" => config.mode = EngineMode::Quantitative,
+                _ => usage(),
+            },
+            "--engine-threads" => match value().parse() {
+                Ok(n) => config.engine_threads = n,
+                Err(_) => usage(),
+            },
+            "--default-deadline-ms" => match value().parse() {
+                Ok(ms) => config.default_deadline = Some(Duration::from_millis(ms)),
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    match serve(config) {
+        Ok(handle) => {
+            println!("listening on {}", handle.addr());
+            // Serve until the process is killed; the accept loop owns
+            // the listener, so parking the main thread is all that is
+            // left to do.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("cardird: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `cardird`: the CDR query server.
+//!
+//! The paper frames cardinal direction relations as *queryable
+//! information* for interactive GIS; this crate is the serving half of
+//! that claim. It exposes named sessions — journaled
+//! [`RelationStore`](cardir_cardirect::RelationStore)s — over a
+//! hand-rolled, stdlib-only HTTP/1.1 server (the workspace builds with
+//! zero external crates):
+//!
+//! | Route | What it does |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | telemetry registry as JSON lines |
+//! | `GET /sessions` · `POST /sessions` | list / create-or-load |
+//! | `GET /sessions/{name}` | session summary (epoch, pairs, journal) |
+//! | `POST /sessions/{name}/save` | force the journal durable |
+//! | `POST /sessions/{name}/apply` | incremental edits under a deadline |
+//! | `POST /sessions/{name}/repair` | recompute pending pairs |
+//! | `GET /sessions/{name}/relation` | one pair, lock-free off the snapshot |
+//! | `GET /sessions/{name}/relations` | full materialisation off the snapshot |
+//! | `POST /sessions/{name}/query` | CARDIRECT conjunctive query |
+//! | `POST /compute` | sessionless batch join over inline regions |
+//!
+//! The concurrency story lives in [`session`]: writers serialise on a
+//! mutex and publish immutable epoch snapshots; readers clone an `Arc`
+//! and never block behind an edit. Deadlines, panic isolation, and the
+//! HTTP subset are documented in [`server`] and [`http`].
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod session;
+
+pub use api::{ApiError, RegionMeta};
+pub use client::{Client, ClientResponse};
+pub use server::{serve, ServerConfig, ServerHandle, ServerState};
+pub use session::{Session, SessionRegistry, SessionSnapshot, SessionSummary};

@@ -93,8 +93,10 @@ cargo run --offline -p cardir-fuzz -- --family edits --iters 150 --seed 1
 
 # Incremental-engine gate: the edit bench at N=1000 must emit the
 # invalidation and replay counters the delta-maintenance claims rest on,
-# and edit throughput must stay within 3x of the committed baseline
-# (edits_per_sec is higher-is-better, so it gates as a lower bound).
+# and edit throughput must stay within 3x of the committed baseline.
+# edits_per_sec is higher-is-better, so it gates WITHOUT :lower — the
+# previous :lower suffix inverted the ratio (base/new), which passed
+# regressions and failed improvements.
 incr_json="$(mktemp /tmp/incr.XXXXXX.json)"
 trap 'rm -f "$bench_json" "$bench_trace" "$join_json" "$incr_json"' EXIT
 cargo run --release --offline -p cardir-bench --bin incremental_throughput -- 1000 \
@@ -103,7 +105,59 @@ cargo run --release --offline -p cardir-bench --bin json_check -- "$incr_json" \
     --require incremental.pairs_invalidated --require incremental.replay \
     --require incremental.speedup_vs_full
 cargo run --release --offline -p cardir-bench --bin bench_diff -- BENCH_incremental.json "$incr_json" \
-    --key incremental=regions --metric incremental.edits_per_sec:lower \
+    --key incremental=regions --metric incremental.edits_per_sec \
     --filter regions=1000 --threshold 3
+
+# Server smoke + gate (DESIGN.md §14): boot the cardird binary on an
+# ephemeral port, drive it with loadgen over real TCP connections —
+# loadgen exits non-zero on any non-2xx response, so this is a
+# zero-error claim — then validate the emission and hold throughput
+# within 3x of the committed BENCH_server.json baseline (K=8 matches
+# the baseline's key; requests_per_sec is higher-is-better, no :lower).
+server_json="$(mktemp /tmp/server.XXXXXX.json)"
+server_log="$(mktemp /tmp/cardird.XXXXXX.log)"
+server_dir="$(mktemp -d /tmp/cardird-data.XXXXXX)"
+nan_json="$(mktemp /tmp/nan.XXXXXX.json)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$bench_json" "$bench_trace" "$join_json" "$incr_json" \
+        "$server_json" "$server_log" "$server_dir" "$nan_json"
+}
+trap cleanup EXIT
+target/release/cardird --addr 127.0.0.1:0 --data-dir "$server_dir" > "$server_log" &
+server_pid=$!
+server_addr=""
+for _ in $(seq 1 100); do
+    server_addr="$(sed -n 's/^listening on //p' "$server_log" | head -n 1)"
+    [ -n "$server_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$server_addr" ]; then
+    echo "ci: cardird did not report its address" >&2
+    exit 1
+fi
+cargo run --release --offline -p cardir-bench --bin loadgen -- \
+    --connections 8 --requests 50 --addr "$server_addr" --json "$server_json" > /dev/null
+cargo run --release --offline -p cardir-bench --bin json_check -- "$server_json" \
+    --require server.requests --require server.errors \
+    --require server.requests_per_sec --require server.latency_p95_ns
+cargo run --release --offline -p cardir-bench --bin bench_diff -- BENCH_server.json "$server_json" \
+    --key server=connections --metric server.requests_per_sec \
+    --filter connections=8 --threshold 3
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# The non-finite gate must actually gate: a baseline whose over-range
+# literal (1e999, which the JSON layer parses to infinity) poisons the
+# improvement ratio has to fail bench_diff loudly — refusing to gate —
+# not sort as Equal and pass.
+printf '{"type":"server","connections":8,"requests_per_sec":1e999}\n' > "$nan_json"
+if cargo run --release --offline -p cardir-bench --bin bench_diff -- "$nan_json" "$server_json" \
+    --key server=connections --metric server.requests_per_sec --threshold 3 > /dev/null 2>&1; then
+    echo "ci: bench_diff accepted a non-finite baseline value" >&2
+    exit 1
+fi
 
 echo "ci: all green"
